@@ -1,0 +1,39 @@
+"""Benchmark harness helpers.
+
+Every paper artifact gets one benchmark that (a) regenerates its table via
+the experiment harness, (b) asserts the qualitative *shape* the paper
+claims, and (c) prints the table — and appends it to
+``benchmark_tables.txt`` in the repository root, so a plain
+``pytest benchmarks/ --benchmark-only`` run leaves the full reproduction
+report on disk even without ``-s``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+_RESULTS_PATH = os.path.join(os.path.dirname(__file__), "..", "benchmark_tables.txt")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_file():
+    try:
+        os.remove(_RESULTS_PATH)
+    except FileNotFoundError:
+        pass
+    yield
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def show(table) -> None:
+    text = table.format()
+    print()
+    print(text)
+    with open(_RESULTS_PATH, "a", encoding="utf-8") as handle:
+        handle.write(text + "\n\n")

@@ -1,0 +1,20 @@
+"""A2 — advert lifetime / refresh ablation (freshness vs overhead)."""
+
+from benchmarks.conftest import run_once, show
+from repro.experiments import cache_ablation_table
+
+
+def test_a2_cache_ablation(benchmark):
+    table = run_once(
+        benchmark, cache_ablation_table, lifetimes=(10.0, 30.0, 120.0), observation=40.0
+    )
+    show(table)
+    rows = table.to_dicts()
+    # With refresh running, the cache answers regardless of lifetime.
+    assert all(row["hit_after_warmup"] for row in rows)
+    # Short lifetimes purge a crashed node's entry quickly...
+    assert not rows[0]["stale_after_leave"]
+    # ...long lifetimes still serve the ghost 20 s after the crash...
+    assert rows[-1]["stale_after_leave"]
+    # ...and freshness costs proportionally more piggybacked adverts.
+    assert rows[0]["adverts_piggybacked"] > rows[-1]["adverts_piggybacked"]

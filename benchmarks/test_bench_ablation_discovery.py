@@ -1,0 +1,23 @@
+"""A1 — discovery scheme ablation on one fixed workload."""
+
+from benchmarks.conftest import run_once, show
+from repro.experiments import ablation_discovery_table
+
+
+def test_a1_discovery_ablation(benchmark):
+    table = run_once(benchmark, ablation_discovery_table, n_nodes=16, seeds=(1, 2))
+    show(table)
+    rows = {row["scheme"]: row for row in table.to_dicts()}
+    assert rows["siphoc"]["success_ratio"] >= 0.9
+    assert rows["siphoc"]["discovery_bytes"] == 0
+    # SIPHoc resolves faster than the multicast-SLP collection window...
+    assert rows["siphoc"]["mean_latency_s"] < rows["multicast-slp"]["mean_latency_s"]
+    # ...and cheaper than both proactive baselines.
+    assert rows["siphoc"]["control_bytes"] < rows["flooding-register"]["control_bytes"]
+    assert rows["siphoc"]["control_bytes"] < rows["proactive-hello"]["control_bytes"]
+    # Battery story (iPAQ deployment): piggybacking drains an order of
+    # magnitude less energy than the flooding baselines, network-wide and
+    # at the hottest node.
+    for baseline in ("flooding-register", "proactive-hello"):
+        assert rows[baseline]["energy_j"] > 5 * rows["siphoc"]["energy_j"]
+        assert rows[baseline]["hotspot_j"] > 5 * rows["siphoc"]["hotspot_j"]

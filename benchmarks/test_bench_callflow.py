@@ -1,0 +1,16 @@
+"""F3 — Figure 3: the eight-step call flow in an isolated MANET."""
+
+from benchmarks.conftest import run_once, show
+from repro.experiments import call_flow_table
+
+
+def test_f3_call_flow_aodv(benchmark):
+    table = run_once(benchmark, call_flow_table, "aodv")
+    show(table)
+    assert all(row[2] for row in table.rows), "every Figure 3 step must succeed"
+
+
+def test_f3_call_flow_olsr(benchmark):
+    table = run_once(benchmark, call_flow_table, "olsr")
+    show(table)
+    assert all(row[2] for row in table.rows)

@@ -1,0 +1,24 @@
+"""E3 — registration availability: proactive fill vs on-demand lookup."""
+
+import math
+
+from benchmarks.conftest import run_once, show
+from repro.experiments import convergence_table
+
+
+def test_e3_convergence(benchmark):
+    table = run_once(benchmark, convergence_table, n_nodes=9, seeds=(1, 2, 3))
+    show(table)
+    rows = table.to_dicts()
+    # On-demand lookups resolve for both protocols.
+    for routing in ("aodv", "olsr"):
+        lookup = next(
+            r for r in rows if r["routing"] == routing and r["mode"] == "on-demand lookup"
+        )
+        assert lookup["resolved"] == "3/3"
+        assert not math.isnan(lookup["mean_s"])
+        assert lookup["mean_s"] < 3.0
+    # OLSR additionally converges proactively (adverts ride routing traffic).
+    proactive = [r for r in rows if r["mode"] == "proactive cache fill" and r["routing"] == "olsr"]
+    assert proactive, "OLSR must show proactive cache fill"
+    assert proactive[0]["mean_s"] < 40.0

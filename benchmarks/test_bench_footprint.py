@@ -1,0 +1,28 @@
+"""F6 — section 4 deployment footprint (component inventory, flash budget)."""
+
+from benchmarks.conftest import run_once, show
+from repro.experiments import footprint_table, module_inventory_table
+
+
+def test_f6_footprint(benchmark):
+    table = run_once(benchmark, footprint_table)
+    show(table)
+    components = table.column("component")
+    for expected in (
+        "SIPHoc proxy",
+        "MANET SLP",
+        "Gateway Provider",
+        "Connection Provider",
+        "VoIP application",
+    ):
+        assert expected in components
+    # The paper's budget check: the system fits the iPAQ's free flash.
+    assert any("fit: True" in note for note in table.notes)
+
+
+def test_f6_module_inventory(benchmark):
+    table = run_once(benchmark, module_inventory_table)
+    show(table)
+    packages = table.column("package")
+    assert {"core", "sip", "slp", "routing", "netsim", "rtp"}.issubset(set(packages))
+    assert all(row[2] > 0 for row in table.rows)  # every package has code

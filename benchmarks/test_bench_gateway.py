@@ -1,0 +1,18 @@
+"""E4 — gateway discovery, tunnel establishment and Internet calls."""
+
+import math
+
+from benchmarks.conftest import run_once, show
+from repro.experiments import gateway_table
+
+
+def test_e4_gateway(benchmark):
+    table = run_once(benchmark, gateway_table, chain_lengths=(2, 3, 5))
+    show(table)
+    for row in table.to_dicts():
+        assert not math.isnan(row["tunnel_up_s"]), "tunnel must come up"
+        assert row["tunnel_up_s"] < 30.0
+        assert row["upstream_reg"] is True
+        assert row["out_call"] is True, "MANET -> Internet call must establish"
+        assert row["in_call"] is True, "Internet -> MANET call must establish"
+        assert row["out_setup_s"] < 10.0

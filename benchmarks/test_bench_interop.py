@@ -1,0 +1,22 @@
+"""T1 — section 3.2 provider interoperability matrix."""
+
+from benchmarks.conftest import run_once, show
+from repro.experiments import interop_table
+
+
+def test_t1_interop_matrix(benchmark):
+    table = run_once(benchmark, interop_table)
+    show(table)
+    rows = table.to_dicts()
+    plain = [r for r in rows if not r["mandates_sbc"]]
+    assert len(plain) == 2
+    for row in plain:
+        # "one can make phone calls to and from the Internet without a problem"
+        assert row["upstream_reg"] and row["manet_to_inet"] and row["inet_to_manet"]
+    broken = next(r for r in rows if r["mandates_sbc"] and not r["fix_configured"])
+    # "a problem occurs if the SIP provider requires a special outbound proxy"
+    assert not broken["upstream_reg"]
+    assert not broken["manet_to_inet"]
+    fixed = next(r for r in rows if r["mandates_sbc"] and r["fix_configured"])
+    # The paper's future-work fix restores full service.
+    assert fixed["upstream_reg"] and fixed["manet_to_inet"] and fixed["inet_to_manet"]

@@ -1,0 +1,78 @@
+"""Micro-benchmarks: raw throughput of the performance-critical paths.
+
+Not a paper artifact; these keep the implementation honest (the simulator,
+parsers and codecs are the inner loops of every experiment above).
+"""
+
+from repro.netsim import Simulator
+from repro.routing import Rreq, decode_aodv, encode_aodv
+from repro.rtp import RtpPacket, decode_rtp
+from repro.sip import parse_message
+from repro.slp import SrvReg, UrlEntry, decode_slp, encode_slp
+
+INVITE_WIRE = (
+    b"INVITE sip:bob@voicehoc.ch SIP/2.0\r\n"
+    b"Via: SIP/2.0/UDP 192.168.0.1:5070;branch=z9hG4bK-77\r\n"
+    b"From: \"Alice\" <sip:alice@voicehoc.ch>;tag=a1\r\n"
+    b"To: <sip:bob@voicehoc.ch>\r\n"
+    b"Call-ID: cid42@192.168.0.1\r\n"
+    b"CSeq: 1 INVITE\r\n"
+    b"Max-Forwards: 70\r\n"
+    b"Contact: <sip:alice@192.168.0.1:5070>\r\n"
+    b"Content-Length: 0\r\n\r\n"
+)
+
+
+def test_sip_parse_throughput(benchmark):
+    message = benchmark(parse_message, INVITE_WIRE)
+    assert message.method == "INVITE"
+
+
+def test_sip_serialize_throughput(benchmark):
+    message = parse_message(INVITE_WIRE)
+    wire = benchmark(message.serialize)
+    assert wire.startswith(b"INVITE")
+
+
+def test_aodv_codec_throughput(benchmark):
+    rreq = Rreq(rreq_id=1, dest_ip="192.168.0.9", dest_seq=1,
+                orig_ip="192.168.0.1", orig_seq=2)
+    wire = encode_aodv(rreq)
+
+    def round_trip():
+        return decode_aodv(wire)
+
+    message, _ = benchmark(round_trip)
+    assert message.dest_ip == "192.168.0.9"
+
+
+def test_slp_codec_throughput(benchmark):
+    reg = SrvReg(xid=1, entry=UrlEntry(
+        url="service:siphoc-sip://192.168.0.5:5060", lifetime=120,
+        attributes="(user=sip:bob@voicehoc.ch)"))
+    wire = encode_slp(reg)
+    decoded = benchmark(decode_slp, wire)
+    assert decoded == reg
+
+
+def test_rtp_codec_throughput(benchmark):
+    wire = RtpPacket(0, 1, 160, 0xABCD, b"\x00" * 160).encode()
+    packet = benchmark(decode_rtp, wire)
+    assert packet.sequence == 1
+
+
+def test_simulator_event_throughput(benchmark):
+    def run_10k_events():
+        sim = Simulator(seed=1)
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.001, tick)
+        sim.run(100.0)
+        return count[0]
+
+    assert benchmark(run_10k_events) == 10_000

@@ -1,0 +1,33 @@
+"""E2 — control overhead vs node count, SIPHoc vs the three baselines."""
+
+from benchmarks.conftest import run_once, show
+from repro.experiments import overhead_vs_nodes_table
+
+
+def test_e2_overhead_vs_nodes(benchmark):
+    table = run_once(
+        benchmark,
+        overhead_vs_nodes_table,
+        node_counts=(9, 16, 25),
+        n_lookups=8,
+    )
+    show(table)
+    rows = table.to_dicts()
+
+    def pick(scheme, nodes):
+        return next(r for r in rows if r["scheme"] == scheme and r["nodes"] == nodes)
+
+    for nodes in (9, 16, 25):
+        siphoc = pick("siphoc", nodes)
+        # The headline claim: piggybacking adds zero dedicated discovery packets.
+        assert siphoc["discovery_bytes"] == 0
+        # ... and total control traffic stays well below the flooding baselines.
+        for baseline in ("flooding-register", "proactive-hello"):
+            assert pick(baseline, nodes)["control_bytes"] > 3 * siphoc["control_bytes"], (
+                f"{baseline} should cost several times SIPHoc at {nodes} nodes"
+            )
+    # Baseline overhead grows superlinearly with network size.
+    assert (
+        pick("proactive-hello", 25)["control_bytes"]
+        > 3 * pick("proactive-hello", 9)["control_bytes"]
+    )

@@ -1,0 +1,32 @@
+"""E5 — scalability with network size (the paper's stated future work)."""
+
+from benchmarks.conftest import run_once, show
+from repro.experiments import scalability_table
+
+
+def test_e5_scalability_static(benchmark):
+    table = run_once(
+        benchmark,
+        scalability_table,
+        node_counts=(10, 20, 30),
+        seeds=(1, 2),
+        calls_per_run=5,
+    )
+    show(table)
+    for row in table.to_dicts():
+        assert row["success_ratio"] >= 0.7, f"{row['nodes']} nodes: too many failures"
+
+
+def test_e5_scalability_mobile(benchmark):
+    table = run_once(
+        benchmark,
+        scalability_table,
+        node_counts=(16,),
+        seeds=(1, 2),
+        calls_per_run=5,
+        mobility=True,
+    )
+    show(table)
+    # Under random waypoint motion some calls may fail, but the system
+    # must keep establishing a solid majority.
+    assert table.rows[0][3] >= 0.5

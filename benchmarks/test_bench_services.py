@@ -1,0 +1,17 @@
+"""S1 (extension) — IM, presence and video services over SIPHoc."""
+
+import math
+
+from benchmarks.conftest import run_once, show
+from repro.experiments import services_table
+
+
+def test_s1_services(benchmark):
+    table = run_once(benchmark, services_table, hop_counts=(1, 2, 4))
+    show(table)
+    for row in table.to_dicts():
+        assert row["im_delivered"], f"{row['hops']} hops: message lost"
+        assert row["im_latency_s"] < 0.5
+        assert not math.isnan(row["presence_latency_s"])
+        assert row["presence_latency_s"] < 1.0
+        assert row["video_ok"], f"{row['hops']} hops: video unwatchable"

@@ -1,0 +1,25 @@
+"""E1 — session setup delay vs hop count (AODV and OLSR)."""
+
+import math
+
+from benchmarks.conftest import run_once, show
+from repro.experiments import setup_delay_table
+
+
+def test_e1_setup_delay(benchmark):
+    table = run_once(
+        benchmark,
+        setup_delay_table,
+        hop_counts=(1, 2, 4, 6, 8),
+        routings=("aodv", "olsr"),
+        seeds=(1, 2, 3),
+    )
+    show(table)
+    # Shape: every call sets up, and delay grows with hop count per routing.
+    for routing in ("aodv", "olsr"):
+        rows = [row for row in table.rows if row[0] == routing]
+        assert all(row[2] == "3/3" for row in rows), f"{routing}: setup failures"
+        delays = [row[3] for row in rows]
+        assert all(not math.isnan(d) for d in delays)
+        assert delays[0] < delays[-1], f"{routing}: delay should grow with hops"
+        assert delays[-1] < 1.0, f"{routing}: 8-hop setup should stay sub-second"

@@ -1,0 +1,31 @@
+"""E6 — voice quality (E-model MOS) vs path length and link loss."""
+
+from benchmarks.conftest import run_once, show
+from repro.experiments import voice_quality_table
+
+
+def test_e6_voice_quality(benchmark):
+    table = run_once(
+        benchmark,
+        voice_quality_table,
+        hop_counts=(1, 2, 4, 6),
+        loss_rates=(0.0, 0.05, 0.15),
+        talk_time=10.0,
+    )
+    show(table)
+    rows = table.to_dicts()
+    clean = [r for r in rows if r["link_loss"] == 0.0]
+    assert all(r["established"] for r in clean)
+    # Loss-free multihop voice stays comfortably above the MOS 3.6 bar.
+    assert all(r["mos"] >= 3.6 for r in clean)
+    # More loss never improves MOS at fixed hop count (NaN = stream died,
+    # treated as the floor).
+    for hops in (1, 2, 4, 6):
+        series = [
+            r["mos"] if r["mos"] == r["mos"] else 1.0
+            for r in rows
+            if r["hops"] == hops and r["established"]
+        ]
+        assert all(a >= b - 0.15 for a, b in zip(series, series[1:])), (
+            f"MOS should not rise with loss at {hops} hops"
+        )

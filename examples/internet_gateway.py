@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Phone calls to and from the Internet (section 3.2 of the paper).
+
+A MANET chain with one gateway node, three SIP providers on the Internet
+(two plain, one that mandates its own outbound proxy — the
+polyphone.ethz.ch case), and MANET users holding official accounts. The
+script demonstrates:
+
+1. gateway discovery + transparent tunnel attachment,
+2. a MANET user's official SIP address registered upstream,
+3. calls MANET -> Internet and Internet -> MANET,
+4. the polyphone failure mode and the paper's future-work fix.
+
+Run:  python examples/internet_gateway.py
+"""
+
+from repro.core import SipAccount
+from repro.scenarios import ManetConfig, ManetScenario
+from repro.sip import CallState
+
+
+def auto_answer(scenario):
+    def handler(call):
+        call.ring()
+        scenario.sim.schedule(0.3, call.answer)
+
+    return handler
+
+
+def main() -> None:
+    scenario = ManetScenario(
+        ManetConfig(
+            n_nodes=4,
+            topology="chain",
+            routing="aodv",
+            seed=7,
+            internet_gateways=1,
+            providers=("siphoc.ch", "netvoip.ch"),
+            strict_providers=("polyphone.ethz.ch",),
+        )
+    )
+    scenario.start()
+    sim = scenario.sim
+
+    # Internet-side subscribers (full softphones with media).
+    carol = scenario.providers["siphoc.ch"].create_softphone("carol")
+    dave = scenario.providers["polyphone.ethz.ch"].create_softphone("dave")
+
+    # MANET users with their official accounts (Figure 2 config).
+    alice = scenario.add_phone(
+        0, "alice", account=SipAccount(username="alice", domain="siphoc.ch")
+    )
+    erin = scenario.add_phone(
+        1, "erin", account=SipAccount(username="erin", domain="polyphone.ethz.ch")
+    )
+
+    print("waiting for gateway discovery and tunnel attachment ...")
+    sim.run_until(lambda: scenario.stacks[0].internet_available, timeout=60.0)
+    sim.run(sim.now + 5.0)
+    stack0 = scenario.stacks[0]
+    print(f"node 0 attached to the Internet via tunnel {stack0.connection.tunnel_ip}")
+    print(f"upstream registration (siphoc.ch):    "
+          f"{stack0.proxy.upstream_registrations.get('sip:alice@siphoc.ch')}")
+    print(f"upstream registration (polyphone):    "
+          f"{scenario.stacks[1].proxy.upstream_registrations.get('sip:erin@polyphone.ethz.ch')}"
+          "   <- rejected: provider mandates its own outbound proxy")
+    print()
+
+    print("alice calls carol on the Internet ...")
+    record = scenario.call_and_wait("alice", "sip:carol@siphoc.ch", duration=5.0)
+    print(f"  {record.final_state}, setup {record.setup_delay:.2f}s,"
+          f" quality {record.quality.summary() if record.quality else 'n/a'}")
+
+    print("carol calls alice's official address from the Internet ...")
+    call = carol.place_call("sip:alice@siphoc.ch", duration=5.0)
+    sim.run_until(
+        lambda: call.state in (CallState.TERMINATED, CallState.FAILED), 45.0, step=0.5
+    )
+    inbound = carol.history[-1]
+    print(f"  {inbound.final_state},"
+          f" quality {inbound.quality.summary() if inbound.quality else 'n/a'}")
+
+    print()
+    print("erin calls dave at the strict provider (no fix configured) ...")
+    record = scenario.call_and_wait("erin", "sip:dave@polyphone.ethz.ch", duration=3.0)
+    print(f"  {record.final_state} ({record.failure_status}) — the open issue of section 3.2")
+
+    print("reconfiguring erin's account with the provider's outbound proxy (the fix) ...")
+    fixed = SipAccount(
+        username="erin",
+        domain="polyphone.ethz.ch",
+        provider_outbound_proxy="sbc.polyphone.ethz.ch",
+    )
+    scenario.stacks[1].proxy.configure_account(fixed)
+    erin.ua.register()  # re-register so the proxy retries upstream
+    sim.run(sim.now + 5.0)
+    record = scenario.call_and_wait("erin", "sip:dave@polyphone.ethz.ch", duration=3.0)
+    print(f"  {record.final_state} — transparent again")
+    scenario.stop()
+
+
+if __name__ == "__main__":
+    main()

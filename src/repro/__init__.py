@@ -1,0 +1,40 @@
+"""repro — a full reproduction of *Wireless Ad Hoc VoIP* (SIPHoc).
+
+Stuedi & Alonso, MNCNA workshop @ ACM/IFIP/USENIX Middleware 2007.
+
+The package implements the complete SIPHoc middleware — proxy, MANET SLP
+with routing piggybacking, gateway/connection providers, layer-2 tunnels —
+together with every substrate it needs: a deterministic discrete-event
+wireless network simulator, AODV and OLSR routing daemons, a SIP stack,
+SLP, RTP with E-model quality scoring, the related-work baselines, a
+packet analyzer, and the experiment harness that regenerates the paper's
+figures and deployment numbers.
+
+Quickstart::
+
+    from repro.netsim import Simulator, Stats, WirelessMedium, Node, manet_ip, place_chain
+    from repro.core import SiphocStack
+
+    sim = Simulator(seed=1)
+    stats = Stats()
+    medium = WirelessMedium(sim, stats=stats, tx_range=150)
+    stacks = []
+    for i in range(3):
+        node = Node(sim, i, manet_ip(i), stats=stats)
+        node.join_medium(medium)
+        stacks.append(SiphocStack(node, routing="aodv").start())
+    place_chain([s.node for s in stacks], 100)
+    alice = stacks[0].add_phone(username="alice")
+    bob = stacks[2].add_phone(username="bob")
+    sim.run(2.0)
+    alice.place_call("sip:bob@voicehoc.ch", duration=10.0)
+    sim.run(20.0)
+    print(alice.history[0].quality.summary())
+
+See also :mod:`repro.scenarios` for prebuilt topologies and
+:mod:`repro.experiments` for the paper's evaluation harness.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,27 @@
+"""Packet analyzer: dissectors + wireshark-style rendering.
+
+The substitute for the Wireshark screenshots in the paper (Figure 5 shows
+an AODV route reply carrying encapsulated SIP contact information; this
+package regenerates that view from a simulated capture).
+"""
+
+from repro.analyzer.dissect import Dissection, Layer, dissect_frame, dissect_packet
+from repro.analyzer.render import (
+    render_capture,
+    render_dissection,
+    render_frame,
+    render_layer,
+    summarize_frame,
+)
+
+__all__ = [
+    "Dissection",
+    "Layer",
+    "dissect_frame",
+    "dissect_packet",
+    "render_capture",
+    "render_dissection",
+    "render_frame",
+    "render_layer",
+    "summarize_frame",
+]

@@ -1,0 +1,312 @@
+"""Protocol dissectors: structured decode of captured packets.
+
+Turns a captured frame into a tree of protocol layers with named fields —
+AODV, OLSR, SLP (including SIPHoc piggyback extensions), SIP, RTP,
+SIPHoc tunnel frames (recursively) and the related-work baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.extension import (
+    EXT_SLP_ADVERT,
+    EXT_SLP_QUERY,
+    EXT_SLP_REPLY,
+    decode_extension,
+)
+from repro.core.tunnel import decode_inner_packet
+from repro.errors import CodecError, SipParseError
+from repro.netsim.capture import CapturedFrame
+from repro.netsim.packet import (
+    PORT_AODV,
+    PORT_OLSR,
+    PORT_SIPHOC_CTRL,
+    PORT_SIPHOC_TUNNEL,
+    PORT_SLP,
+    Packet,
+)
+from repro.routing.messages import (
+    OLSR_HELLO,
+    OLSR_SLP,
+    OLSR_TC,
+    Rerr,
+    Rrep,
+    Rreq,
+    decode_aodv,
+    decode_hello_body,
+    decode_olsr_packet,
+    decode_tc_body,
+)
+from repro.rtp.packet import decode_rtp
+from repro.sip.message import SipRequest, parse_message
+from repro.slp.messages import (
+    SlpMessage,
+    SrvAck,
+    SrvDeReg,
+    SrvReg,
+    SrvRply,
+    SrvRqst,
+    decode_slp,
+)
+from repro.slp.service import parse_attributes
+
+Field = tuple[str, str]
+
+
+@dataclass
+class Layer:
+    """One protocol layer in a dissection."""
+
+    name: str
+    fields: list[Field] = field(default_factory=list)
+    children: list["Layer"] = field(default_factory=list)
+
+    def add(self, label: str, value: object) -> "Layer":
+        self.fields.append((label, str(value)))
+        return self
+
+    def find(self, name: str) -> "Layer | None":
+        if self.name.startswith(name):
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+
+@dataclass
+class Dissection:
+    """A fully dissected packet."""
+
+    layers: list[Layer]
+
+    def find(self, name: str) -> Layer | None:
+        for layer in self.layers:
+            found = layer.find(name)
+            if found is not None:
+                return found
+        return None
+
+
+def dissect_frame(frame: CapturedFrame, number: int | None = None) -> Dissection:
+    """Dissect a captured wireless frame."""
+    layers = [_frame_layer(frame, number)]
+    layers.extend(dissect_packet(frame.packet).layers)
+    return Dissection(layers=layers)
+
+
+def dissect_packet(packet: Packet) -> Dissection:
+    layers = [_ip_layer(packet), _udp_layer(packet)]
+    layers.extend(_payload_layers(packet.dport, packet.sport, packet.data))
+    return Dissection(layers=layers)
+
+
+# -- per-layer builders ---------------------------------------------------------
+
+
+def _frame_layer(frame: CapturedFrame, number: int | None) -> Layer:
+    title = f"Frame {number}" if number is not None else "Frame"
+    layer = Layer(f"{title}: {frame.packet.size} bytes on wire (simulated 802.11)")
+    layer.add("Arrival Time", f"{frame.time:.6f}s")
+    layer.add("Sender", frame.sender_ip)
+    layer.add("Receiver", frame.receiver_ip if frame.receiver_ip != "*" else "Broadcast")
+    layer.add("Delivered", "yes" if frame.delivered else "no (lost)")
+    return layer
+
+
+def _ip_layer(packet: Packet) -> Layer:
+    layer = Layer(f"Internet Protocol, Src: {packet.src}, Dst: {packet.dst}")
+    layer.add("Time to Live", packet.ttl)
+    layer.add("Protocol", "UDP (17)")
+    return layer
+
+
+def _udp_layer(packet: Packet) -> Layer:
+    layer = Layer(
+        f"User Datagram Protocol, Src Port: {packet.sport}, Dst Port: {packet.dport}"
+    )
+    layer.add("Length", len(packet.data) + 8)
+    return layer
+
+
+def _payload_layers(dport: int, sport: int, data: bytes) -> list[Layer]:
+    try:
+        if dport == PORT_AODV:
+            return [_aodv_layer(data)]
+        if dport == PORT_OLSR:
+            return [_olsr_layer(data)]
+        if dport == PORT_SLP:
+            return [_slp_layer(decode_slp(data))]
+        if dport == PORT_SIPHOC_TUNNEL:
+            return _tunnel_layers(data)
+        if dport == PORT_SIPHOC_CTRL:
+            return [Layer("SIPHoc Tunnel Control").add("Length", len(data))]
+        if 16384 <= dport < 32768:
+            return [_rtp_layer(data)]
+        if 5060 <= dport < 5100 or 5060 <= sport < 5100:
+            return [_sip_layer(data)]
+    except (CodecError, SipParseError):
+        pass
+    return [Layer("Data").add("Length", f"{len(data)} bytes")]
+
+
+_AODV_TYPE_NAMES = {1: "Route Request (RREQ)", 2: "Route Reply (RREP)", 3: "Route Error (RERR)"}
+
+
+def _aodv_layer(data: bytes) -> Layer:
+    message, extensions = decode_aodv(data)
+    layer = Layer("Ad hoc On-demand Distance Vector Routing Protocol")
+    if isinstance(message, Rreq):
+        layer.add("Type", _AODV_TYPE_NAMES[1])
+        layer.add("Hop Count", message.hop_count)
+        layer.add("RREQ Id", message.rreq_id)
+        layer.add("Destination IP", message.dest_ip)
+        layer.add("Destination Sequence", message.dest_seq)
+        layer.add("Originator IP", message.orig_ip)
+        layer.add("Originator Sequence", message.orig_seq)
+        if message.dest_only:
+            layer.add("Flags", "Destination only")
+    elif isinstance(message, Rrep):
+        kind = "Hello" if message.is_hello() else _AODV_TYPE_NAMES[2]
+        layer.add("Type", kind)
+        layer.add("Hop Count", message.hop_count)
+        layer.add("Destination IP", message.dest_ip)
+        layer.add("Destination Sequence", message.dest_seq)
+        layer.add("Originator IP", message.orig_ip)
+        layer.add("Lifetime", f"{message.lifetime_ms} ms")
+    elif isinstance(message, Rerr):
+        layer.add("Type", _AODV_TYPE_NAMES[3])
+        layer.add("Unreachable Destinations", len(message.unreachable))
+        for ip, seq in message.unreachable:
+            layer.add("Unreachable", f"{ip} (seq {seq})")
+    for extension in extensions:
+        slp_message = decode_extension(extension)
+        if slp_message is not None:
+            child = _slp_layer(slp_message)
+            child.name = f"SIPHoc Extension ({_ext_name(extension.ext_type)}): {child.name}"
+            layer.children.append(child)
+        else:
+            layer.children.append(
+                Layer(f"Unknown Extension (type {extension.ext_type})").add(
+                    "Length", len(extension.body)
+                )
+            )
+    return layer
+
+
+def _ext_name(ext_type: int) -> str:
+    return {
+        EXT_SLP_ADVERT: "SLP Advertisement",
+        EXT_SLP_QUERY: "SLP Query",
+        EXT_SLP_REPLY: "SLP Reply",
+    }.get(ext_type, f"type {ext_type}")
+
+
+_OLSR_TYPE_NAMES = {OLSR_HELLO: "HELLO", OLSR_TC: "TC", OLSR_SLP: "SIPHoc SLP (130)"}
+
+
+def _olsr_layer(data: bytes) -> Layer:
+    packet_seq, messages = decode_olsr_packet(data)
+    layer = Layer("Optimized Link State Routing Protocol")
+    layer.add("Packet Sequence", packet_seq)
+    layer.add("Messages", len(messages))
+    for message in messages:
+        name = _OLSR_TYPE_NAMES.get(message.msg_type, f"type {message.msg_type}")
+        child = Layer(f"OLSR Message: {name}")
+        child.add("Originator", message.orig_ip)
+        child.add("TTL / Hops", f"{message.ttl} / {message.hops}")
+        child.add("Sequence", message.seq)
+        child.add("Validity", f"{message.vtime:.1f}s")
+        try:
+            if message.msg_type == OLSR_HELLO:
+                hello = decode_hello_body(message.body)
+                for code, ips in sorted(hello.links.items()):
+                    label = {1: "Asym", 2: "Sym", 3: "MPR"}.get(code, str(code))
+                    child.add(f"{label} Neighbors", ", ".join(ips) or "-")
+            elif message.msg_type == OLSR_TC:
+                tc = decode_tc_body(message.body)
+                child.add("ANSN", tc.ansn)
+                child.add("Advertised Neighbors", ", ".join(tc.neighbors) or "-")
+            elif message.msg_type == OLSR_SLP:
+                child.children.append(_slp_layer(decode_slp(message.body)))
+        except CodecError:
+            child.add("Body", f"{len(message.body)} bytes (undecodable)")
+        layer.children.append(child)
+    return layer
+
+
+def _slp_layer(message: SlpMessage) -> Layer:
+    if isinstance(message, SrvRqst):
+        layer = Layer("Service Location Protocol: Service Request (SrvRqst)")
+        layer.add("XID", message.xid)
+        layer.add("Service Type", message.service_type)
+        layer.add("Predicate", message.predicate or "-")
+        layer.add("Requester", message.requester or "-")
+        return layer
+    if isinstance(message, SrvRply):
+        layer = Layer("Service Location Protocol: Service Reply (SrvRply)")
+        layer.add("XID", message.xid)
+        layer.add("URL Entries", len(message.entries))
+        for entry in message.entries:
+            child = Layer(f"URL Entry: {entry.url}")
+            child.add("Lifetime", f"{entry.lifetime}s")
+            for key, value in parse_attributes(entry.attributes).items():
+                child.add(f"Attribute: {key}", value)
+            layer.children.append(child)
+        return layer
+    if isinstance(message, SrvReg):
+        layer = Layer("Service Location Protocol: Service Registration (SrvReg)")
+        layer.add("XID", message.xid)
+        layer.add("Service URL", message.entry.url)
+        layer.add("Lifetime", f"{message.entry.lifetime}s")
+        for key, value in parse_attributes(message.entry.attributes).items():
+            layer.add(f"Attribute: {key}", value)
+        return layer
+    if isinstance(message, SrvDeReg):
+        layer = Layer("Service Location Protocol: Service Deregistration (SrvDeReg)")
+        layer.add("XID", message.xid)
+        layer.add("Service URL", message.url)
+        return layer
+    if isinstance(message, SrvAck):
+        layer = Layer("Service Location Protocol: Service Acknowledge (SrvAck)")
+        layer.add("XID", message.xid)
+        layer.add("Error Code", message.error)
+        return layer
+    return Layer("Service Location Protocol: Unknown")
+
+
+def _sip_layer(data: bytes) -> Layer:
+    message = parse_message(data)
+    if isinstance(message, SipRequest):
+        layer = Layer(f"Session Initiation Protocol: {message.method} {message.uri}")
+    else:
+        layer = Layer(f"Session Initiation Protocol: Status {message.status} {message.reason}")
+    for name in ("Via", "From", "To", "Call-ID", "CSeq", "Contact", "Record-Route", "Route"):
+        for value in message.headers.get_all(name):
+            layer.add(name, value)
+    if message.body:
+        content_type = message.headers.get("Content-Type") or "unknown"
+        layer.add("Message Body", f"{len(message.body)} bytes ({content_type})")
+    return layer
+
+
+def _rtp_layer(data: bytes) -> Layer:
+    packet = decode_rtp(data)
+    layer = Layer("Real-Time Transport Protocol")
+    layer.add("Payload Type", packet.payload_type)
+    layer.add("Sequence", packet.sequence)
+    layer.add("Timestamp", packet.timestamp)
+    layer.add("SSRC", f"0x{packet.ssrc:08x}")
+    layer.add("Marker", "set" if packet.marker else "not set")
+    layer.add("Payload", f"{len(packet.payload)} bytes")
+    return layer
+
+
+def _tunnel_layers(data: bytes) -> list[Layer]:
+    inner = decode_inner_packet(data)
+    header = Layer("SIPHoc Layer-2 Tunnel (encapsulated IP)")
+    header.add("Inner Length", len(data))
+    inner_dissection = dissect_packet(inner)
+    return [header] + inner_dissection.layers

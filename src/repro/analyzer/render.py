@@ -1,0 +1,82 @@
+"""Wireshark-style text rendering of dissections (the Figure 5 view)."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.analyzer.dissect import Dissection, Layer, dissect_frame
+from repro.netsim.capture import CapturedFrame
+
+
+def render_layer(layer: Layer, indent: int = 0) -> list[str]:
+    pad = "    " * indent
+    lines = [f"{pad}{layer.name}"]
+    lines.extend(f"{pad}    {label}: {value}" for label, value in layer.fields)
+    for child in layer.children:
+        lines.extend(render_layer(child, indent + 1))
+    return lines
+
+
+def render_dissection(dissection: Dissection) -> str:
+    lines: list[str] = []
+    for layer in dissection.layers:
+        lines.extend(render_layer(layer))
+    return "\n".join(lines)
+
+
+def render_frame(frame: CapturedFrame, number: int | None = None) -> str:
+    """Full wireshark-like detail pane for one captured frame."""
+    return render_dissection(dissect_frame(frame, number))
+
+
+def summarize_frame(frame: CapturedFrame, number: int) -> str:
+    """One packet-list row: number, time, src, dst, protocol, info."""
+    dissection = dissect_frame(frame, number)
+    protocol, info = _protocol_and_info(dissection)
+    dst = frame.receiver_ip if frame.receiver_ip != "*" else "Broadcast"
+    return (
+        f"{number:>5}  {frame.time:>10.6f}  {frame.sender_ip:>15}  {dst:>15}  "
+        f"{protocol:<8} {frame.packet.size:>5}  {info}"
+    )
+
+
+def render_capture(
+    frames: Iterable[CapturedFrame],
+    predicate: Callable[[CapturedFrame], bool] | None = None,
+) -> str:
+    """The packet-list pane for a whole capture."""
+    header = (
+        f"{'No.':>5}  {'Time':>10}  {'Source':>15}  {'Destination':>15}  "
+        f"{'Proto':<8} {'Len':>5}  Info"
+    )
+    rows = [header]
+    for number, frame in enumerate(frames, start=1):
+        if predicate is not None and not predicate(frame):
+            continue
+        rows.append(summarize_frame(frame, number))
+    return "\n".join(rows)
+
+
+def _protocol_and_info(dissection: Dissection) -> tuple[str, str]:
+    for layer in reversed(dissection.layers):
+        name = layer.name
+        if name.startswith("Ad hoc On-demand"):
+            kind = dict(layer.fields).get("Type", "")
+            extras = [child.name for child in layer.children]
+            info = kind + (f" + {len(extras)} SIPHoc ext" if extras else "")
+            return ("AODV", info)
+        if name.startswith("Optimized Link State"):
+            kinds = [child.name.split(": ", 1)[-1] for child in layer.children]
+            return ("OLSR", ", ".join(kinds) or "empty packet")
+        if name.startswith("Session Initiation"):
+            return ("SIP", name.split(": ", 1)[-1])
+        if name.startswith("Real-Time Transport"):
+            fields = dict(layer.fields)
+            return ("RTP", f"PT={fields.get('Payload Type')} Seq={fields.get('Sequence')}")
+        if name.startswith("Service Location"):
+            return ("SLP", name.split(": ", 1)[-1])
+        if name.startswith("SIPHoc Layer-2 Tunnel"):
+            return ("TUNNEL", "encapsulated IP packet")
+        if name.startswith("SIPHoc Tunnel Control"):
+            return ("TUNNEL", "control")
+    return ("DATA", "")

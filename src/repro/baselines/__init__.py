@@ -1,0 +1,24 @@
+"""Related-work baselines for decentralized SIP user location in MANETs.
+
+Implements the alternatives the paper's related-work section discusses,
+behind one :class:`DiscoveryBackend` interface, so the benchmarks can
+compare control overhead and lookup latency against SIPHoc's MANET SLP.
+"""
+
+from repro.baselines.base import DiscoveryBackend, ResolveCallback, UserBinding
+from repro.baselines.flooding_sip import FLOODING_PORT, FloodingSipBackend
+from repro.baselines.manetslp_backend import ManetSlpBackend
+from repro.baselines.multicast_slp import MulticastSlpBackend
+from repro.baselines.proactive_hello import HELLO_PORT, ProactiveHelloBackend
+
+__all__ = [
+    "DiscoveryBackend",
+    "FLOODING_PORT",
+    "FloodingSipBackend",
+    "HELLO_PORT",
+    "ManetSlpBackend",
+    "MulticastSlpBackend",
+    "ProactiveHelloBackend",
+    "ResolveCallback",
+    "UserBinding",
+]

@@ -1,0 +1,57 @@
+"""Common interface for SIP user-location schemes in MANETs.
+
+The paper's related work section describes three alternative approaches to
+decentralized SIP session establishment; each is implemented here behind
+one interface so the benchmarks can compare them head-to-head with
+SIPHoc's MANET SLP on identical workloads:
+
+* broadcast REGISTER flooding (Leggio et al. [12])
+* proactive HELLO mapping tables (Pico-SIP, O'Doherty [13])
+* standard multicast SLP lookups ([7])
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.netsim.node import Node
+
+
+@dataclass(frozen=True)
+class UserBinding:
+    """A resolved SIP user -> endpoint mapping."""
+
+    aor: str
+    host: str
+    port: int
+
+
+ResolveCallback = Callable[[UserBinding | None], None]
+
+
+class DiscoveryBackend(abc.ABC):
+    """A user-location service running on one MANET node."""
+
+    name = "abstract"
+
+    def __init__(self, node: Node) -> None:
+        self.node = node
+        self.sim = node.sim
+
+    @abc.abstractmethod
+    def start(self) -> "DiscoveryBackend":
+        """Start timers/sockets."""
+
+    @abc.abstractmethod
+    def stop(self) -> None:
+        """Stop timers/sockets."""
+
+    @abc.abstractmethod
+    def register_user(self, aor: str, host: str, port: int) -> None:
+        """Announce that ``aor`` is reachable at ``host:port``."""
+
+    @abc.abstractmethod
+    def resolve(self, aor: str, callback: ResolveCallback, timeout: float = 2.0) -> None:
+        """Resolve ``aor``; calls ``callback`` with a binding or None."""

@@ -1,0 +1,57 @@
+"""Baseline: standard multicast SLP lookups ([7] in the paper).
+
+SIP bindings are registered with a plain SLP service agent; every lookup
+floods a SrvRqst network-wide (the broadcast emulation of SLP multicast
+convergence). Registration is quiet, but *each call setup* pays a full
+network flood plus a unicast reply — the inefficiency measured in the
+cited ICN'05 study and the reason SIPHoc piggybacks instead.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import DiscoveryBackend, ResolveCallback, UserBinding
+from repro.netsim.node import Node
+from repro.slp.agent import SlpAgent
+from repro.slp.service import SERVICE_SIP_CONTACT, ServiceEntry, ServiceUrl
+
+
+class MulticastSlpBackend(DiscoveryBackend):
+    """Standard-SLP user location (flooded SrvRqst per lookup)."""
+
+    name = "multicast-slp"
+
+    def __init__(self, node: Node) -> None:
+        super().__init__(node)
+        self.agent = SlpAgent(node)
+
+    def start(self) -> "MulticastSlpBackend":
+        return self
+
+    def stop(self) -> None:
+        self.agent.close()
+
+    def register_user(self, aor: str, host: str, port: int) -> None:
+        self.agent.register(
+            ServiceUrl(service_type=SERVICE_SIP_CONTACT, host=host, port=port),
+            attributes={"user": aor},
+            lifetime=3600.0,
+        )
+
+    def resolve(self, aor: str, callback: ResolveCallback, timeout: float = 2.0) -> None:
+        def on_results(entries: list[ServiceEntry]) -> None:
+            if not entries:
+                callback(None)
+                return
+            entry = entries[0]
+            callback(
+                UserBinding(
+                    aor=aor, host=entry.url.host, port=entry.url.port or 5060
+                )
+            )
+
+        self.agent.find_services(
+            SERVICE_SIP_CONTACT,
+            predicate=f"(user={aor})",
+            timeout=timeout,
+            callback=on_results,
+        )

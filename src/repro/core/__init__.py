@@ -1,0 +1,78 @@
+"""SIPHoc: the paper's contribution — SIP middleware for ad hoc networks.
+
+The five components of Figure 1: the VoIP application (:class:`SoftPhone`),
+the SIPHoc :class:`SiphocProxy`, :class:`ManetSlp` with its routing handler
+plugins, the :class:`GatewayProvider` and the :class:`ConnectionProvider`
+— plus :class:`SiphocStack`, which wires them all up on a node.
+"""
+
+from repro.core.config import SipAccount, SiphocConfig
+from repro.core.connection import ConnectionProvider
+from repro.core.extension import (
+    EXT_SLP_ADVERT,
+    EXT_SLP_QUERY,
+    EXT_SLP_REPLY,
+    advert_extension,
+    decode_extension,
+    is_slp_extension,
+    query_extension,
+    reply_extension,
+)
+from repro.core.gateway import GatewayProvider
+from repro.core.handlers import AodvHandler, OlsrHandler, RoutingHandler, make_handler
+from repro.core.manet_slp import ManetSlp, ManetSlpConfig
+from repro.core.media_relay import MediaRelay, RelaySession
+from repro.core.provider import SipProvider
+from repro.core.proxy import SiphocProxy
+from repro.core.softphone import (
+    AnswerMode,
+    CallRecord,
+    SoftPhone,
+    TextMessage,
+    VideoStats,
+)
+from repro.core.stack import SiphocStack, make_routing
+from repro.core.tunnel import (
+    TunnelClient,
+    TunnelLease,
+    TunnelServer,
+    decode_inner_packet,
+    encode_inner_packet,
+)
+
+__all__ = [
+    "AnswerMode",
+    "AodvHandler",
+    "CallRecord",
+    "ConnectionProvider",
+    "EXT_SLP_ADVERT",
+    "EXT_SLP_QUERY",
+    "EXT_SLP_REPLY",
+    "GatewayProvider",
+    "ManetSlp",
+    "ManetSlpConfig",
+    "MediaRelay",
+    "OlsrHandler",
+    "RelaySession",
+    "RoutingHandler",
+    "SipAccount",
+    "SipProvider",
+    "SiphocConfig",
+    "SiphocProxy",
+    "SiphocStack",
+    "SoftPhone",
+    "TextMessage",
+    "TunnelClient",
+    "TunnelLease",
+    "TunnelServer",
+    "VideoStats",
+    "advert_extension",
+    "decode_extension",
+    "decode_inner_packet",
+    "encode_inner_packet",
+    "is_slp_extension",
+    "make_handler",
+    "make_routing",
+    "query_extension",
+    "reply_extension",
+]

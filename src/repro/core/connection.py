@@ -1,0 +1,119 @@
+"""Connection Provider: keeps the node attached to the Internet when possible.
+
+Periodically looks for a ``gateway.siphoc`` service via MANET SLP; when one
+appears, opens a layer-2 tunnel to it. Monitors lease renewals and tears the
+tunnel down (then resumes polling) if the gateway stops answering — e.g.
+after the gateway node leaves the MANET. Components interested in
+connectivity (the SIPHoc proxy's WAN leg) subscribe to the callbacks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.manet_slp import ManetSlp
+from repro.core.tunnel import TunnelClient
+from repro.netsim.node import Node
+from repro.slp.service import SERVICE_GATEWAY, ServiceEntry
+
+ConnectivityCallback = Callable[[str], None]
+
+
+class ConnectionProvider:
+    """Maintains this node's tunnel to whatever gateway is reachable."""
+
+    POLL_INTERVAL = 5.0
+
+    def __init__(
+        self,
+        node: Node,
+        manet_slp: ManetSlp,
+        poll_interval: float = POLL_INTERVAL,
+    ) -> None:
+        self.node = node
+        self.sim = node.sim
+        self.manet_slp = manet_slp
+        self.poll_interval = poll_interval
+        self.tunnel: TunnelClient | None = None
+        self._poll_task = None
+        self._connecting = False
+        self.on_connected: ConnectivityCallback | None = None
+        self.on_disconnected: Callable[[], None] | None = None
+
+    @property
+    def connected(self) -> bool:
+        return self.tunnel is not None and self.tunnel.connected
+
+    @property
+    def tunnel_ip(self) -> str | None:
+        return self.tunnel.tunnel_ip if self.tunnel is not None else None
+
+    def start(self) -> "ConnectionProvider":
+        if self._poll_task is None:
+            self._poll_task = self.sim.schedule_periodic(
+                self.poll_interval, self._poll, jitter=0.2, initial_delay=0.5
+            )
+        return self
+
+    def stop(self) -> None:
+        if self._poll_task is not None:
+            self._poll_task.stop()
+            self._poll_task = None
+        self._teardown()
+
+    # -- polling --------------------------------------------------------------
+    def _poll(self) -> None:
+        if self._connecting:
+            return
+        if self.connected:
+            self._check_liveness()
+            return
+        if self.node.wired_ip is not None:
+            return  # we *are* the Internet attachment; no tunnel needed
+        self.manet_slp.find_services(SERVICE_GATEWAY, callback=self._on_gateways)
+
+    def _on_gateways(self, entries: list[ServiceEntry]) -> None:
+        if self._connecting or self.connected or not entries:
+            return
+        entry = min(entries, key=self._gateway_metric)
+        self._connecting = True
+        tunnel = TunnelClient(self.node, entry.url.host)
+        tunnel.on_disconnect = self._on_tunnel_down
+        self.tunnel = tunnel
+        tunnel.connect(self._on_connect_result)
+
+    def _gateway_metric(self, entry: ServiceEntry) -> tuple[int, str]:
+        """Prefer the closest gateway (known hop count), break ties by IP."""
+        hops = None
+        router = self.node.router
+        if router is not None and hasattr(router, "hop_count_to"):
+            hops = router.hop_count_to(entry.url.host)
+        return (hops if hops is not None else 1_000, entry.url.host)
+
+    def _on_connect_result(self, success: bool) -> None:
+        self._connecting = False
+        if not success:
+            self._teardown()
+            return
+        assert self.tunnel is not None and self.tunnel.tunnel_ip is not None
+        self.node.stats.increment("connection.established")
+        if self.on_connected is not None:
+            self.on_connected(self.tunnel.tunnel_ip)
+
+    def _check_liveness(self) -> None:
+        assert self.tunnel is not None
+        last_ack = self.tunnel.last_ack_at
+        deadline = 2 * self.tunnel.RENEW_INTERVAL + 5.0
+        if last_ack is not None and self.sim.now - last_ack > deadline:
+            self.node.stats.increment("connection.gateway_lost")
+            self._teardown()
+
+    def _on_tunnel_down(self) -> None:
+        if self.on_disconnected is not None:
+            self.on_disconnected()
+
+    def _teardown(self) -> None:
+        tunnel, self.tunnel = self.tunnel, None
+        self._connecting = False
+        if tunnel is not None and not tunnel.closed:
+            tunnel.disconnect()

@@ -1,0 +1,54 @@
+"""Piggyback extension payloads.
+
+SIPHoc attaches SLP messages to routing packets as opaque extensions. The
+extension body is a regular SLP wire message (``repro.slp.messages``), so a
+packet dissector sees e.g. "AODV RREP + SLP SrvReg(service:siphoc-sip://...)"
+— the Figure 5 capture.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CodecError
+from repro.routing.messages import Extension
+from repro.slp.messages import (
+    SlpMessage,
+    SrvDeReg,
+    SrvReg,
+    SrvRply,
+    SrvRqst,
+    decode_slp,
+    encode_slp,
+)
+
+#: Extension type codes carried in routing packets.
+EXT_SLP_ADVERT = 0x11  # SrvReg / SrvDeReg: service announcement
+EXT_SLP_QUERY = 0x12  # SrvRqst: a lookup riding a route discovery
+EXT_SLP_REPLY = 0x13  # SrvRply: the answer riding the route reply
+
+SLP_EXTENSION_TYPES = (EXT_SLP_ADVERT, EXT_SLP_QUERY, EXT_SLP_REPLY)
+
+
+def advert_extension(message: SrvReg | SrvDeReg) -> Extension:
+    return Extension(EXT_SLP_ADVERT, encode_slp(message))
+
+
+def query_extension(message: SrvRqst) -> Extension:
+    return Extension(EXT_SLP_QUERY, encode_slp(message))
+
+
+def reply_extension(message: SrvRply) -> Extension:
+    return Extension(EXT_SLP_REPLY, encode_slp(message))
+
+
+def decode_extension(extension: Extension) -> SlpMessage | None:
+    """Decode an SLP piggyback extension; None for foreign extension types."""
+    if extension.ext_type not in SLP_EXTENSION_TYPES:
+        return None
+    try:
+        return decode_slp(extension.body)
+    except CodecError:
+        return None
+
+
+def is_slp_extension(extension: Extension) -> bool:
+    return extension.ext_type in SLP_EXTENSION_TYPES

@@ -1,0 +1,68 @@
+"""Gateway Provider: publishes Internet connectivity to the MANET.
+
+Runs on a node that has a wired attachment to the Internet cloud. It starts
+a layer-2 tunnel server and announces the ``gateway.siphoc`` service via
+MANET SLP, so every node's Connection Provider can find it and attach
+itself to the Internet.
+"""
+
+from __future__ import annotations
+
+from repro.core.manet_slp import ManetSlp
+from repro.core.tunnel import TunnelServer
+from repro.errors import GatewayError
+from repro.netsim.internet import InternetCloud
+from repro.netsim.node import Node
+from repro.netsim.packet import PORT_SIPHOC_CTRL
+from repro.slp.service import SERVICE_GATEWAY, ServiceUrl
+
+
+class GatewayProvider:
+    """Announces this node as an Internet gateway and serves tunnels."""
+
+    def __init__(
+        self,
+        node: Node,
+        cloud: InternetCloud,
+        manet_slp: ManetSlp,
+        advert_lifetime: float = 60.0,
+    ) -> None:
+        self.node = node
+        self.cloud = cloud
+        self.manet_slp = manet_slp
+        self.advert_lifetime = advert_lifetime
+        self.tunnel_server: TunnelServer | None = None
+        self._service_url: ServiceUrl | None = None
+
+    @property
+    def running(self) -> bool:
+        return self.tunnel_server is not None
+
+    def start(self) -> "GatewayProvider":
+        if self.running:
+            return self
+        if self.node.wired_ip is None:
+            raise GatewayError(
+                f"{self.node.hostname} has no Internet attachment; cannot be a gateway"
+            )
+        self.tunnel_server = TunnelServer(self.node, self.cloud)
+        self._service_url = ServiceUrl(
+            service_type=SERVICE_GATEWAY, host=self.node.ip, port=PORT_SIPHOC_CTRL
+        )
+        self.manet_slp.register(
+            self._service_url,
+            attributes={"wired": self.node.wired_ip},
+            lifetime=self.advert_lifetime,
+        )
+        self.node.stats.increment("gateway.started")
+        return self
+
+    def stop(self) -> None:
+        if not self.running:
+            return
+        assert self.tunnel_server is not None
+        if self._service_url is not None:
+            self.manet_slp.deregister(self._service_url)
+            self._service_url = None
+        self.tunnel_server.close()
+        self.tunnel_server = None

@@ -1,0 +1,228 @@
+"""RTP media relay for calls crossing the MANET/Internet boundary.
+
+A softphone inside the MANET advertises its MANET address in SDP, which is
+unroutable from the Internet. When the SIPHoc proxy forwards an INVITE (or
+its answer) across legs — MANET <-> tunnel/WAN — it therefore rewrites the
+session description to point at local relay ports on the crossing
+interface and pumps RTP between the two sides, exactly like the media path
+of a session border gateway. One relay *channel* (a pair of sockets) is
+allocated per media stream, so audio+video calls relay both. Calls that
+stay inside the MANET never cross legs and keep their direct media path.
+
+Terminology per session: side *A* is the leg the INVITE arrived on, side
+*B* the leg it left through. The offer describes A's real endpoints; the
+answer describes B's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SipParseError
+from repro.netsim.node import Node, UdpSocket
+from repro.sip.sdp import MediaDescription, SessionDescription, parse_sdp
+
+#: Relay ports live high in the RTP range, clear of softphone allocations.
+RELAY_PORT_BASE = 28000
+IDLE_TIMEOUT = 90.0
+
+
+@dataclass
+class RelayChannel:
+    """One relayed media stream: two sockets, two learned remote endpoints."""
+
+    a_socket: UdpSocket
+    b_socket: UdpSocket
+    a_remote: tuple[str, int] | None = None
+    b_remote: tuple[str, int] | None = None
+
+    @property
+    def a_port(self) -> int:
+        return self.a_socket.port
+
+    @property
+    def b_port(self) -> int:
+        return self.b_socket.port
+
+    def close(self) -> None:
+        self.a_socket.close()
+        self.b_socket.close()
+
+
+@dataclass
+class RelaySession:
+    """One relayed call: a channel per media stream."""
+
+    call_id: str
+    a_address: str
+    b_address: str
+    channels: list[RelayChannel] = field(default_factory=list)
+    last_activity: float = 0.0
+    packets_relayed: int = 0
+
+    def close(self) -> None:
+        for channel in self.channels:
+            channel.close()
+
+    # Backwards-friendly accessors for the common audio-only case.
+    @property
+    def a_port(self) -> int:
+        return self.channels[0].a_port
+
+    @property
+    def b_port(self) -> int:
+        return self.channels[0].b_port
+
+    @property
+    def a_remote(self):
+        return self.channels[0].a_remote if self.channels else None
+
+    @property
+    def b_remote(self):
+        return self.channels[0].b_remote if self.channels else None
+
+
+class MediaRelay:
+    """Per-node relay managing all boundary-crossing media sessions."""
+
+    def __init__(self, node: Node) -> None:
+        self.node = node
+        self.sim = node.sim
+        self._sessions: dict[str, RelaySession] = {}
+        self._next_port = RELAY_PORT_BASE
+        self._gc_task = self.sim.schedule_periodic(30.0, self._collect_idle)
+
+    def close(self) -> None:
+        self._gc_task.stop()
+        for session in list(self._sessions.values()):
+            session.close()
+        self._sessions.clear()
+
+    @property
+    def active_sessions(self) -> int:
+        return len(self._sessions)
+
+    def session_for(self, call_id: str) -> RelaySession | None:
+        return self._sessions.get(call_id)
+
+    # -- session management ------------------------------------------------------
+    def _allocate_port(self) -> int:
+        port = self._next_port
+        self._next_port += 2
+        return port
+
+    def open(self, call_id: str, a_address: str, b_address: str) -> RelaySession:
+        existing = self._sessions.get(call_id)
+        if existing is not None:
+            return existing
+        session = RelaySession(
+            call_id=call_id,
+            a_address=a_address,
+            b_address=b_address,
+            last_activity=self.sim.now,
+        )
+        self._sessions[call_id] = session
+        self.node.stats.increment("mediarelay.sessions_opened")
+        return session
+
+    def _ensure_channels(self, session: RelaySession, count: int) -> None:
+        while len(session.channels) < count:
+            channel = RelayChannel(
+                a_socket=self.node.bind(self._allocate_port(), lambda *args: None),
+                b_socket=self.node.bind(self._allocate_port(), lambda *args: None),
+            )
+            channel.a_socket.handler = (
+                lambda data, src, sport, ch=channel, s=session: self._pump(s, ch, data, "b")
+            )
+            channel.b_socket.handler = (
+                lambda data, src, sport, ch=channel, s=session: self._pump(s, ch, data, "a")
+            )
+            session.channels.append(channel)
+
+    def close_session(self, call_id: str) -> None:
+        session = self._sessions.pop(call_id, None)
+        if session is not None:
+            session.close()
+
+    def _pump(
+        self, session: RelaySession, channel: RelayChannel, data: bytes, to_side: str
+    ) -> None:
+        session.last_activity = self.sim.now
+        session.packets_relayed += 1
+        remote = channel.b_remote if to_side == "b" else channel.a_remote
+        socket = channel.b_socket if to_side == "b" else channel.a_socket
+        if remote is not None:
+            socket.send(remote[0], remote[1], data)
+
+    def _collect_idle(self) -> None:
+        now = self.sim.now
+        for call_id, session in list(self._sessions.items()):
+            if now - session.last_activity > IDLE_TIMEOUT:
+                self.close_session(call_id)
+                self.node.stats.increment("mediarelay.sessions_expired")
+
+    # -- SDP rewriting --------------------------------------------------------------
+    def rewrite_offer(
+        self, call_id: str, body: bytes, a_address: str, b_address: str
+    ) -> bytes:
+        """Rewrite an offer crossing A -> B; learns A's real endpoints."""
+        try:
+            sdp = parse_sdp(body)
+        except SipParseError:
+            return body
+        if not any(m.port > 0 for m in sdp.media):
+            return body
+        session = self.open(call_id, a_address, b_address)
+        # One channel per m-line position: RFC 3264 answers mirror the
+        # offer's ordering, so positional indexing stays consistent.
+        self._ensure_channels(session, len(sdp.media))
+        ports = []
+        for index, media in enumerate(sdp.media):
+            if media.port > 0:
+                channel = session.channels[index]
+                channel.a_remote = (sdp.connection_address, media.port)
+                ports.append(channel.b_port)
+            else:
+                ports.append(0)
+        return _rewritten(sdp, session.b_address, ports)
+
+    def rewrite_answer(self, call_id: str, body: bytes) -> bytes:
+        """Rewrite an answer crossing B -> A; learns B's real endpoints."""
+        session = self._sessions.get(call_id)
+        if session is None:
+            return body
+        try:
+            sdp = parse_sdp(body)
+        except SipParseError:
+            return body
+        ports = []
+        for index, media in enumerate(sdp.media):
+            if media.port > 0 and index < len(session.channels):
+                channel = session.channels[index]
+                channel.b_remote = (sdp.connection_address, media.port)
+                ports.append(channel.a_port)
+            else:
+                ports.append(0)
+        return _rewritten(sdp, session.a_address, ports)
+
+
+def _rewritten(sdp: SessionDescription, address: str, ports: list[int]) -> bytes:
+    media = [
+        MediaDescription(
+            media=description.media,
+            port=port,
+            protocol=description.protocol,
+            payload_types=list(description.payload_types),
+            attributes=list(description.attributes),
+        )
+        for description, port in zip(sdp.media, ports)
+    ]
+    rewritten = SessionDescription(
+        origin_address=address,
+        connection_address=address,
+        session_name=sdp.session_name,
+        session_id=sdp.session_id,
+        session_version=sdp.session_version + 1,
+        media=media,
+    )
+    return rewritten.serialize()

@@ -1,0 +1,215 @@
+"""Internet SIP providers.
+
+The paper tests three commercial providers: siphoc.ch and netvoip.ch (plain
+registrar+proxy on the account domain) and polyphone.ethz.ch, which
+*requires a dedicated outbound proxy* — the configuration SIPHoc cannot
+honor because the softphone's outbound-proxy field was overwritten with
+``localhost``. :class:`SipProvider` models both kinds; the strict kind
+rejects traffic that does not arrive through its session border proxy.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+from repro.netsim.internet import InternetCloud, make_internet_host
+from repro.netsim.node import Node
+from repro.sip.auth import Credentials, DigestAuthenticator
+from repro.sip.message import SipRequest
+from repro.sip.proxy import ProxyCore, RoutingContext
+from repro.sip.registrar import LocationService, Registrar
+from repro.sip.ua import UserAgent
+from repro.sip.uri import SipUri
+
+#: Per-cloud registry of provider proxy addresses, for peer-trust checks.
+_TRUSTED_BY_CLOUD: "weakref.WeakKeyDictionary[InternetCloud, set[str]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _trusted_peers(cloud: InternetCloud) -> set[str]:
+    peers = _TRUSTED_BY_CLOUD.get(cloud)
+    if peers is None:
+        peers = set()
+        _TRUSTED_BY_CLOUD[cloud] = peers
+    return peers
+
+
+class SipProvider:
+    """A SIP service provider attached to the Internet cloud."""
+
+    def __init__(
+        self,
+        cloud: InternetCloud,
+        domain: str,
+        requires_outbound_proxy: bool = False,
+        auth_required: bool = False,
+    ) -> None:
+        self.cloud = cloud
+        self.sim = cloud.sim
+        self.domain = domain.lower()
+        self.requires_outbound_proxy = requires_outbound_proxy
+        self.auth: DigestAuthenticator | None = (
+            DigestAuthenticator(realm=self.domain) if auth_required else None
+        )
+        self.host = make_internet_host(cloud.sim, cloud, hostname=self.domain)
+        self.location = LocationService()
+        self.registrar = Registrar(self.location)
+        self.proxy = ProxyCore(self.host, port=5060)
+        self.proxy.route_fn = self._route
+        self.proxy.on_register = self._on_register
+        cloud.dns.register(self.domain, self.host.wired_ip or "")
+        _trusted_peers(cloud).add(self.host.wired_ip or "")
+        self.sbc_host: Node | None = None
+        self.sbc_proxy: ProxyCore | None = None
+        if requires_outbound_proxy:
+            self._start_sbc()
+        self._users: list[UserAgent] = []
+
+    @property
+    def address(self) -> str:
+        return self.host.wired_ip or ""
+
+    @property
+    def sbc_address(self) -> str | None:
+        """The mandated outbound proxy address (None for plain providers)."""
+        return self.sbc_host.wired_ip if self.sbc_host is not None else None
+
+    def _start_sbc(self) -> None:
+        self.sbc_host = make_internet_host(self.sim, self.cloud, hostname=f"sbc.{self.domain}")
+        self.sbc_proxy = ProxyCore(self.sbc_host, port=5060)
+        sbc_domain = f"sbc.{self.domain}"
+        self.cloud.dns.register(sbc_domain, self.sbc_host.wired_ip or "")
+        main_address = (self.address, 5060)
+
+        def sbc_route(ctx: RoutingContext) -> None:
+            ctx.forward(main_address)
+
+        def sbc_register(ctx: RoutingContext) -> None:
+            ctx.forward(main_address, record_route=False)
+
+        self.sbc_proxy.route_fn = sbc_route
+        self.sbc_proxy.on_register = sbc_register
+
+    # -- policy ------------------------------------------------------------------
+    def _source_allowed(self, ctx: RoutingContext) -> bool:
+        if not self.requires_outbound_proxy:
+            return True
+        source_ip = ctx.source[0]
+        if self.sbc_host is not None and source_ip == self.sbc_host.wired_ip:
+            return True
+        if source_ip in _trusted_peers(self.cloud):
+            return True  # federation between providers is fine
+        return False
+
+    # -- request handling ------------------------------------------------------------
+    def _on_register(self, ctx: RoutingContext) -> None:
+        if not self._source_allowed(ctx):
+            self.host.stats.increment("provider.rejected_direct_access")
+            ctx.respond(403, "Use Provider Outbound Proxy")
+            ctx.decided = True
+            return
+        if self.auth is not None and not self._authenticated(ctx.request):
+            self._challenge(ctx)
+            return
+        self.registrar.process(ctx.request, ctx.txn, self.sim.now)
+        ctx.decided = True
+
+    def _authenticated(self, request: SipRequest) -> bool:
+        assert self.auth is not None
+        authorization = request.headers.get("Authorization")
+        if authorization is None:
+            return False
+        return self.auth.verify(authorization, request.method, self.sim.now)
+
+    def _challenge(self, ctx: RoutingContext) -> None:
+        assert self.auth is not None
+        self.host.stats.increment("provider.auth_challenges")
+        response = ctx.request.create_response(401)
+        response.headers.add("WWW-Authenticate", self.auth.challenge(self.sim.now))
+        if ctx.txn is not None:
+            ctx.txn.send_response(response)
+        ctx.decided = True
+
+    def add_subscriber(self, username: str, password: str) -> Credentials:
+        """Provision authentication material for an account."""
+        if self.auth is not None:
+            self.auth.add_user(username, password)
+        return Credentials(username=username, password=password)
+
+    def _route(self, ctx: RoutingContext) -> None:
+        if not self._source_allowed(ctx):
+            self.host.stats.increment("provider.rejected_direct_access")
+            ctx.respond(403, "Use Provider Outbound Proxy")
+            return
+        request = ctx.request
+        target = request.uri
+        if target.host == self.domain or target.host == self.address:
+            self._route_local(ctx, request)
+            return
+        # Foreign domain: federate via DNS.
+        peer_ip = self.cloud.dns.resolve(target.host)
+        if peer_ip is None:
+            ctx.respond(404, "Unknown Domain")
+            return
+        ctx.forward((peer_ip, 5060))
+
+    def _route_local(self, ctx: RoutingContext, request: SipRequest) -> None:
+        aor = SipUri(user=request.uri.user, host=self.domain).address_of_record
+        contacts = self.location.lookup(aor, self.sim.now)
+        if not contacts:
+            ctx.respond(404)
+            return
+        contact = contacts[0]
+        ctx.forward((contact.host, contact.effective_port()), uri=contact)
+
+    # -- test users -------------------------------------------------------------------
+    def create_softphone(self, username: str, **phone_kwargs):
+        """Create an Internet-side subscriber running a full softphone
+        (with RTP media), configured with this provider as outbound proxy."""
+        from repro.core.config import SipAccount
+        from repro.core.softphone import SoftPhone
+
+        host = make_internet_host(
+            self.sim, self.cloud, hostname=f"{username}.{self.domain}"
+        )
+        if self.requires_outbound_proxy and self.sbc_host is not None:
+            outbound_host = self.sbc_host.wired_ip or ""
+        else:
+            outbound_host = self.address
+        password = None
+        if self.auth is not None:
+            password = f"{username}-secret"
+            self.add_subscriber(username, password)
+        account = SipAccount(
+            username=username,
+            domain=self.domain,
+            outbound_proxy=outbound_host,
+            outbound_proxy_port=5060,
+            password=password,
+        )
+        phone = SoftPhone(host, account, port=5060, **phone_kwargs)
+        phone.start()
+        return phone
+
+    def create_user(self, username: str, auto_register: bool = True) -> UserAgent:
+        """Create an Internet-side subscriber of this provider."""
+        host = make_internet_host(self.sim, self.cloud, hostname=f"{username}.{self.domain}")
+        if self.requires_outbound_proxy and self.sbc_host is not None:
+            outbound = (self.sbc_host.wired_ip or "", 5060)
+        else:
+            outbound = (self.address, 5060)
+        credentials = None
+        if self.auth is not None:
+            credentials = self.add_subscriber(username, f"{username}-secret")
+        ua = UserAgent(
+            host,
+            aor=SipUri(user=username, host=self.domain),
+            port=5060,
+            outbound_proxy=outbound,
+            credentials=credentials,
+        )
+        self._users.append(ua)
+        if auto_register:
+            ua.register()
+        return ua

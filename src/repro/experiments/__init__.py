@@ -1,0 +1,64 @@
+"""Experiment harness: one function per paper artifact.
+
+Each function runs a complete simulated experiment and returns a
+:class:`~repro.experiments.tables.Table`. The benchmark suite under
+``benchmarks/`` invokes these and prints the tables; EXPERIMENTS.md
+records paper-claim vs measured for each.
+
+Index (see DESIGN.md section 4):
+
+========  ==========================================  =============================
+Artifact  Function                                     Paper reference
+========  ==========================================  =============================
+F3        :func:`call_flow_table`                      Figure 3 call flow
+E1        :func:`setup_delay_table`                    setup delay vs hops
+E2        :func:`overhead_vs_nodes_table`              control overhead vs nodes
+E3        :func:`convergence_table`                    registration availability
+E4        :func:`gateway_table`                        gateway + Internet calls
+E5        :func:`scalability_table`                    stated future work
+E6        :func:`voice_quality_table`                  MOS vs hops/loss
+T1        :func:`interop_table`                        section 3.2 providers
+F6        :func:`footprint_table`                      section 4 deployment
+A1        :func:`ablation_discovery_table`             discovery scheme ablation
+A2        :func:`cache_ablation_table`                 advert lifetime ablation
+========  ==========================================  =============================
+"""
+
+from repro.experiments.calls import (
+    call_flow_table,
+    scalability_table,
+    setup_delay_table,
+    voice_quality_table,
+)
+from repro.experiments.convergence import cache_ablation_table, convergence_table
+from repro.experiments.discovery import (
+    DiscoveryResult,
+    SCHEMES,
+    ablation_discovery_table,
+    overhead_vs_nodes_table,
+    run_discovery_workload,
+)
+from repro.experiments.footprint import footprint_table, module_inventory_table
+from repro.experiments.gateway import gateway_table, interop_table
+from repro.experiments.services import services_table
+from repro.experiments.tables import Table
+
+__all__ = [
+    "DiscoveryResult",
+    "SCHEMES",
+    "Table",
+    "ablation_discovery_table",
+    "cache_ablation_table",
+    "call_flow_table",
+    "convergence_table",
+    "footprint_table",
+    "gateway_table",
+    "interop_table",
+    "module_inventory_table",
+    "overhead_vs_nodes_table",
+    "run_discovery_workload",
+    "scalability_table",
+    "services_table",
+    "setup_delay_table",
+    "voice_quality_table",
+]

@@ -1,0 +1,156 @@
+"""Gateway and interoperability experiments (E4, T1).
+
+E4 measures gateway discovery + tunnel establishment and Internet call
+setup through a MANET gateway. T1 reproduces the section 3.2
+interoperability matrix over the three provider archetypes, including the
+polyphone.ethz.ch outbound-proxy failure and the paper's future-work fix.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import SipAccount
+from repro.experiments.tables import Table
+from repro.scenarios import ManetConfig, ManetScenario
+from repro.sip.ua import CallState
+
+
+def gateway_table(
+    chain_lengths: tuple[int, ...] = (2, 3, 5),
+    routing: str = "aodv",
+    seed: int = 4,
+) -> Table:
+    """E4: tunnel establishment latency and Internet call setup delay."""
+    table = Table(
+        title=f"E4: gateway attachment and Internet calls ({routing})",
+        columns=[
+            "manet_nodes",
+            "tunnel_up_s",
+            "upstream_reg",
+            "out_call",
+            "out_setup_s",
+            "in_call",
+        ],
+    )
+    for n_nodes in chain_lengths:
+        scenario = ManetScenario(
+            ManetConfig(
+                n_nodes=n_nodes,
+                topology="chain",
+                routing=routing,
+                seed=seed,
+                internet_gateways=1,
+                providers=("siphoc.ch",),
+            )
+        )
+        scenario.start()
+        provider = scenario.providers["siphoc.ch"]
+        carol = provider.create_user("carol")
+        carol.on_invite = lambda call: (
+            call.ring(),
+            scenario.sim.schedule(0.3, call.answer),
+        )
+        alice = scenario.add_phone(
+            0, "alice", account=SipAccount(username="alice", domain="siphoc.ch")
+        )
+        stack = scenario.stacks[0]
+        started = scenario.sim.now
+        scenario.sim.run_until(lambda: stack.internet_available, timeout=60.0)
+        tunnel_up = scenario.sim.now - started if stack.internet_available else float("nan")
+        scenario.sim.run(scenario.sim.now + 5.0)
+        upstream = stack.proxy.upstream_registrations.get("sip:alice@siphoc.ch", False)
+
+        record = scenario.call_and_wait("alice", "sip:carol@siphoc.ch", duration=3.0)
+        out_ok = record.established
+
+        in_states: list[CallState] = []
+        inbound = carol.call(
+            "sip:alice@siphoc.ch", on_state=lambda c: in_states.append(c.state)
+        )
+        scenario.sim.run_until(
+            lambda: inbound.state in (CallState.ESTABLISHED, CallState.FAILED),
+            timeout=30.0,
+        )
+        in_ok = inbound.state is CallState.ESTABLISHED
+        if in_ok:
+            inbound.hangup()
+            scenario.sim.run(scenario.sim.now + 2.0)
+        table.add_row(
+            n_nodes,
+            tunnel_up,
+            upstream,
+            out_ok,
+            record.setup_delay if record.setup_delay is not None else float("nan"),
+            in_ok,
+        )
+        scenario.stop()
+    table.add_note("gateway node sits at the far end of the chain")
+    return table
+
+
+def interop_table(routing: str = "aodv", seed: int = 9) -> Table:
+    """T1: the section 3.2 provider interoperability matrix."""
+    table = Table(
+        title="T1: SIP provider interoperability (section 3.2)",
+        columns=[
+            "provider",
+            "mandates_sbc",
+            "fix_configured",
+            "upstream_reg",
+            "manet_to_inet",
+            "inet_to_manet",
+        ],
+    )
+    cases = [
+        ("siphoc.ch", False, False),
+        ("netvoip.ch", False, False),
+        ("polyphone.ethz.ch", True, False),
+        ("polyphone.ethz.ch", True, True),
+    ]
+    for domain, strict, fix in cases:
+        scenario = ManetScenario(
+            ManetConfig(
+                n_nodes=3,
+                topology="chain",
+                routing=routing,
+                seed=seed,
+                internet_gateways=1,
+                providers=() if strict else (domain,),
+                strict_providers=(domain,) if strict else (),
+            )
+        )
+        scenario.start()
+        provider = scenario.providers[domain]
+        remote = provider.create_user("remote")
+        remote.on_invite = lambda call: (
+            call.ring(),
+            scenario.sim.schedule(0.3, call.answer),
+        )
+        account = SipAccount(
+            username="alice",
+            domain=domain,
+            provider_outbound_proxy=f"sbc.{domain}" if fix else None,
+        )
+        alice = scenario.add_phone(0, "alice", account=account)
+        scenario.sim.run(20.0)
+        upstream = scenario.stacks[0].proxy.upstream_registrations.get(
+            f"sip:alice@{domain}", False
+        )
+        record = scenario.call_and_wait("alice", f"sip:remote@{domain}", duration=2.0)
+        out_ok = record.established
+
+        inbound = remote.call(f"sip:alice@{domain}")
+        scenario.sim.run_until(
+            lambda: inbound.state in (CallState.ESTABLISHED, CallState.FAILED),
+            timeout=30.0,
+        )
+        in_ok = inbound.state is CallState.ESTABLISHED
+        if in_ok:
+            inbound.hangup()
+            scenario.sim.run(scenario.sim.now + 2.0)
+        table.add_row(domain, strict, fix, upstream, out_ok, in_ok)
+        scenario.stop()
+    table.add_note(
+        "row 3 reproduces the paper's open issue: the overwritten"
+        " outbound-proxy field leaves the proxy unable to deduce the next hop"
+    )
+    return table

@@ -1,0 +1,67 @@
+"""Result tables: the structured output of every experiment.
+
+Each experiment in :mod:`repro.experiments` returns a :class:`Table` whose
+rows regenerate the corresponding paper artifact (figure, deployment
+number, or interoperability statement). ``format()`` renders the ASCII
+view the benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Table:
+    """A titled result table."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values, table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> list[object]:
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def to_dicts(self) -> list[dict[str, object]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def format(self) -> str:
+        cells = [[_fmt(value) for value in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(row[i]) for row in cells)) if cells else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        sep = "-+-".join("-" * width for width in widths)
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(" | ".join(col.ljust(widths[i]) for i, col in enumerate(self.columns)))
+        lines.append(sep)
+        for row in cells:
+            lines.append(" | ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3f}".rstrip("0").rstrip(".") or "0"
+    return str(value)

@@ -1,0 +1,128 @@
+"""The wired Internet substrate.
+
+The paper's gateway scenario assumes "the Internet" on the far side of a
+MANET gateway: SIP providers with registrars/proxies reachable by domain
+name. :class:`InternetCloud` is a star network with fixed latency that
+routes packets between attached addresses, plus a tiny DNS. Gateways attach
+*virtual* endpoints for the tunnel-client addresses they serve, so Internet
+hosts can reach MANET nodes transparently — the property §3.2 demonstrates
+with calls from the Internet into the MANET.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable
+
+from repro.errors import NetworkError
+from repro.netsim.node import Node
+from repro.netsim.packet import Packet, internet_ip
+from repro.netsim.simulator import Simulator
+from repro.netsim.stats import Stats
+
+DeliverFn = Callable[[Packet], None]
+
+
+class DnsService:
+    """Minimal DNS: domain name -> IP, with SIP-style lookup helpers."""
+
+    def __init__(self) -> None:
+        self._records: dict[str, str] = {}
+
+    def register(self, domain: str, ip: str) -> None:
+        self._records[domain.lower()] = ip
+
+    def unregister(self, domain: str) -> None:
+        self._records.pop(domain.lower(), None)
+
+    def resolve(self, domain: str) -> str | None:
+        return self._records.get(domain.lower())
+
+    def domains(self) -> list[str]:
+        return sorted(self._records)
+
+
+class InternetCloud:
+    """Fixed-infrastructure network connecting wired hosts and gateways."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stats: Stats | None = None,
+        latency: float = 0.02,
+        jitter: float = 0.005,
+        loss_rate: float = 0.0,
+    ) -> None:
+        self.sim = sim
+        self.stats = stats or Stats()
+        self.latency = latency
+        self.jitter = jitter
+        self.loss_rate = loss_rate
+        self.dns = DnsService()
+        self._endpoints: dict[str, DeliverFn] = {}
+        self._ip_counter = itertools.count(1)
+
+    # -- attachment -----------------------------------------------------------
+    def allocate_ip(self) -> str:
+        return internet_ip(next(self._ip_counter))
+
+    def attach(self, node: Node, ip: str | None = None) -> str:
+        """Give ``node`` a wired interface and a default route via this cloud."""
+        wired_ip = ip or self.allocate_ip()
+        if wired_ip in self._endpoints:
+            raise NetworkError(f"internet address {wired_ip} already attached")
+        node.wired_ip = wired_ip
+        self._endpoints[wired_ip] = node.receive_wired
+        node.set_default_route("wired", self.send, priority=0)
+        return wired_ip
+
+    def detach(self, node: Node) -> None:
+        if node.wired_ip and node.wired_ip in self._endpoints:
+            del self._endpoints[node.wired_ip]
+        node.clear_default_route("wired")
+        node.wired_ip = None
+
+    def attach_endpoint(self, ip: str, deliver: DeliverFn) -> None:
+        """Attach a virtual endpoint (e.g. a tunnel-client address at a gateway)."""
+        if ip in self._endpoints:
+            raise NetworkError(f"internet address {ip} already attached")
+        self._endpoints[ip] = deliver
+
+    def detach_endpoint(self, ip: str) -> None:
+        self._endpoints.pop(ip, None)
+
+    def is_attached(self, ip: str) -> bool:
+        return ip in self._endpoints
+
+    # -- forwarding -------------------------------------------------------------
+    def send(self, packet: Packet) -> None:
+        """Deliver ``packet`` to its destination address after cloud latency."""
+        self.stats.increment("internet.packets")
+        deliver = self._endpoints.get(packet.dst)
+        if deliver is None:
+            self.stats.increment("internet.unroutable")
+            return
+        if self.loss_rate > 0 and self.sim.rng.random() < self.loss_rate:
+            self.stats.increment("internet.lost")
+            return
+        delay = self.latency + self.sim.rng.uniform(0, self.jitter)
+        self.sim.schedule(delay, deliver, packet)
+
+
+def make_internet_host(
+    sim: Simulator,
+    cloud: InternetCloud,
+    hostname: str,
+    stats: Stats | None = None,
+    node_id: int | None = None,
+) -> Node:
+    """Create a wired-only host attached to the cloud (no MANET interface)."""
+    host = Node(
+        sim,
+        node_id=node_id if node_id is not None else -1,
+        ip=None,
+        stats=stats or cloud.stats,
+        hostname=hostname,
+    )
+    cloud.attach(host)
+    return host

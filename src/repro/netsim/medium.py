@@ -1,0 +1,187 @@
+"""Wireless medium model.
+
+A unit-disk radio: every node within ``tx_range`` metres of a sender
+receives its transmissions. Per-transmission delay is serialization time at
+``bitrate`` plus a fixed MAC/propagation component plus a small random
+per-receiver jitter (standing in for 802.11 backoff, and preventing
+degenerate simultaneity in flooding protocols). Unicast frames get link-layer
+retransmissions, broadcast frames do not — as in real 802.11.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Callable
+
+from repro.netsim.capture import CapturedFrame
+from repro.netsim.energy import EnergyModel
+from repro.netsim.packet import Packet
+from repro.netsim.simulator import Simulator
+from repro.netsim.stats import Stats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.netsim.node import Node
+
+SnifferFn = Callable[[CapturedFrame], None]
+LinkFailureFn = Callable[[str, Packet], None]
+
+
+class WirelessMedium:
+    """Shared broadcast medium connecting all MANET nodes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stats: Stats | None = None,
+        tx_range: float = 250.0,
+        bitrate: float = 2_000_000.0,
+        base_delay: float = 0.0005,
+        jitter: float = 0.002,
+        loss_rate: float = 0.0,
+        mac_retries: int = 3,
+        energy: EnergyModel | None = None,
+    ) -> None:
+        self.sim = sim
+        self.stats = stats or Stats()
+        self.energy = energy
+        self.tx_range = tx_range
+        self.bitrate = bitrate
+        self.base_delay = base_delay
+        self.jitter = jitter
+        self.loss_rate = loss_rate
+        self.mac_retries = mac_retries
+        self._nodes: list["Node"] = []
+        self._by_ip: dict[str, "Node"] = {}
+        self._sniffers: list[SnifferFn] = []
+
+    # -- membership ---------------------------------------------------------
+    def add_node(self, node: "Node") -> None:
+        if node.ip in self._by_ip:
+            raise ValueError(f"duplicate MANET address {node.ip}")
+        self._nodes.append(node)
+        self._by_ip[node.ip] = node
+
+    def remove_node(self, node: "Node") -> None:
+        self._nodes.remove(node)
+        del self._by_ip[node.ip]
+
+    @property
+    def nodes(self) -> list["Node"]:
+        return list(self._nodes)
+
+    def node_by_ip(self, ip: str) -> "Node | None":
+        return self._by_ip.get(ip)
+
+    # -- topology -----------------------------------------------------------
+    def distance(self, a: "Node", b: "Node") -> float:
+        return math.hypot(a.position[0] - b.position[0], a.position[1] - b.position[1])
+
+    def in_range(self, a: "Node", b: "Node") -> bool:
+        return self.distance(a, b) <= self.tx_range
+
+    def neighbors(self, node: "Node") -> list["Node"]:
+        return [
+            other
+            for other in self._nodes
+            if other is not node and self.in_range(node, other)
+        ]
+
+    # -- capture ------------------------------------------------------------
+    def add_sniffer(self, sniffer: SnifferFn) -> None:
+        self._sniffers.append(sniffer)
+
+    def remove_sniffer(self, sniffer: SnifferFn) -> None:
+        self._sniffers.remove(sniffer)
+
+    def _notify_sniffers(self, frame: CapturedFrame) -> None:
+        for sniffer in self._sniffers:
+            sniffer(frame)
+
+    # -- transmission -------------------------------------------------------
+    def _tx_time(self, packet: Packet) -> float:
+        return packet.size * 8.0 / self.bitrate + self.base_delay
+
+    def _lost(self) -> bool:
+        return self.loss_rate > 0 and self.sim.rng.random() < self.loss_rate
+
+    def broadcast(self, sender: "Node", packet: Packet) -> None:
+        """Transmit one link-layer broadcast frame from ``sender``.
+
+        Each in-range neighbor independently receives (or loses) the frame.
+        """
+        self.stats.record_transmission(packet.dport, packet.size)
+        if self.energy is not None:
+            self.energy.on_send(sender, packet)
+        tx_time = self._tx_time(packet)
+        delivered_any = False
+        for neighbor in self.neighbors(sender):
+            if self._lost():
+                continue
+            delivered_any = True
+            if self.energy is not None:
+                self.energy.on_receive_broadcast(neighbor, packet)
+            delay = tx_time + self.sim.rng.uniform(0, self.jitter)
+            self.sim.schedule(delay, neighbor.receive_wireless, packet, sender.ip)
+        self._notify_sniffers(
+            CapturedFrame(
+                time=self.sim.now,
+                sender_ip=sender.ip,
+                receiver_ip="*",
+                packet=packet,
+                delivered=delivered_any,
+            )
+        )
+
+    def unicast(
+        self,
+        sender: "Node",
+        next_hop_ip: str,
+        packet: Packet,
+        on_link_failure: LinkFailureFn | None = None,
+    ) -> None:
+        """Transmit a unicast frame to a specific link-layer neighbor.
+
+        The frame is retried up to ``mac_retries`` times on loss; if the
+        neighbor is out of range or every attempt is lost, the optional
+        ``on_link_failure(next_hop_ip, packet)`` callback fires (the 802.11
+        TX-failure feedback that reactive routing protocols rely on).
+        """
+        self.stats.record_transmission(packet.dport, packet.size)
+        receiver = self._by_ip.get(next_hop_ip)
+        reachable = receiver is not None and self.in_range(sender, receiver)
+        delivered = False
+        attempts = 1
+        if reachable:
+            for attempt in range(self.mac_retries + 1):
+                attempts = attempt + 1
+                if not self._lost():
+                    delivered = True
+                    break
+        if self.energy is not None:
+            self.energy.on_send(sender, packet, attempts=attempts)
+            for neighbor in self.neighbors(sender):
+                if neighbor is receiver:
+                    if delivered:
+                        self.energy.on_receive(neighbor, packet)
+                else:
+                    # Promiscuous overhear-and-discard cost for bystanders.
+                    self.energy.on_discard(neighbor, packet)
+        self._notify_sniffers(
+            CapturedFrame(
+                time=self.sim.now,
+                sender_ip=sender.ip,
+                receiver_ip=next_hop_ip,
+                packet=packet,
+                delivered=delivered,
+            )
+        )
+        if not delivered:
+            self.stats.increment("medium.unicast_failures")
+            if on_link_failure is not None:
+                # Failure is detected after the full retry sequence.
+                delay = attempts * self._tx_time(packet)
+                self.sim.schedule(delay, on_link_failure, next_hop_ip, packet)
+            return
+        delay = attempts * self._tx_time(packet) + self.sim.rng.uniform(0, self.jitter)
+        assert receiver is not None
+        self.sim.schedule(delay, receiver.receive_wireless, packet, sender.ip)

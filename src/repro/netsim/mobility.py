@@ -1,0 +1,203 @@
+"""Node mobility models.
+
+Positions are updated in discrete ticks on the simulation clock. The random
+waypoint model is the standard MANET evaluation workload; the paper's
+testbed is quasi-static (laptops on desks, firewalled into multihop), which
+the static placement helpers model.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.netsim.node import Node
+from repro.netsim.simulator import PeriodicTask, Simulator
+
+
+def place_chain(nodes: Sequence[Node], spacing: float) -> None:
+    """Place nodes on a straight line, ``spacing`` metres apart.
+
+    With a medium range just above ``spacing`` this yields an n-1 hop chain
+    (the firewall-enforced multihop setup of the paper's testbed).
+    """
+    for index, node in enumerate(nodes):
+        node.position = (index * spacing, 0.0)
+
+
+def place_grid(nodes: Sequence[Node], spacing: float, columns: int | None = None) -> None:
+    """Place nodes on a square-ish grid, ``spacing`` metres apart."""
+    if columns is None:
+        columns = max(1, math.ceil(math.sqrt(len(nodes))))
+    for index, node in enumerate(nodes):
+        node.position = ((index % columns) * spacing, (index // columns) * spacing)
+
+
+def place_random(
+    nodes: Sequence[Node],
+    sim: Simulator,
+    width: float,
+    height: float,
+) -> None:
+    """Place nodes uniformly at random in a ``width x height`` area."""
+    for node in nodes:
+        node.position = (sim.rng.uniform(0, width), sim.rng.uniform(0, height))
+
+
+class RandomWaypointMobility:
+    """Random waypoint model over a rectangular area.
+
+    Each node repeatedly picks a uniform destination, moves there at a speed
+    drawn from ``[min_speed, max_speed]``, pauses ``pause_time`` seconds, and
+    repeats. Positions update every ``tick`` seconds.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nodes: Sequence[Node],
+        width: float,
+        height: float,
+        min_speed: float = 0.5,
+        max_speed: float = 2.0,
+        pause_time: float = 5.0,
+        tick: float = 0.5,
+    ) -> None:
+        if min_speed <= 0 or max_speed < min_speed:
+            raise ValueError("speeds must satisfy 0 < min_speed <= max_speed")
+        self.sim = sim
+        self.nodes = list(nodes)
+        self.width = width
+        self.height = height
+        self.min_speed = min_speed
+        self.max_speed = max_speed
+        self.pause_time = pause_time
+        self.tick = tick
+        self._state: dict[int, dict[str, float | tuple[float, float]]] = {}
+        self._task: PeriodicTask | None = None
+
+    def start(self) -> "RandomWaypointMobility":
+        for node in self.nodes:
+            self._pick_waypoint(node)
+        self._task = self.sim.schedule_periodic(self.tick, self._step)
+        return self
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    def _pick_waypoint(self, node: Node) -> None:
+        target = (self.sim.rng.uniform(0, self.width), self.sim.rng.uniform(0, self.height))
+        speed = self.sim.rng.uniform(self.min_speed, self.max_speed)
+        self._state[node.node_id] = {"target": target, "speed": speed, "pause_until": 0.0}
+
+    def _step(self) -> None:
+        now = self.sim.now
+        for node in self.nodes:
+            state = self._state[node.node_id]
+            if now < float(state["pause_until"]):  # paused at a waypoint
+                continue
+            tx, ty = state["target"]  # type: ignore[misc]
+            x, y = node.position
+            dx, dy = tx - x, ty - y
+            dist = math.hypot(dx, dy)
+            step = float(state["speed"]) * self.tick
+            if dist <= step:
+                node.position = (tx, ty)
+                state["pause_until"] = now + self.pause_time
+                self._pick_waypoint_keep_pause(node, state)
+            else:
+                node.position = (x + dx / dist * step, y + dy / dist * step)
+
+    def _pick_waypoint_keep_pause(self, node: Node, old_state: dict) -> None:
+        pause_until = old_state["pause_until"]
+        self._pick_waypoint(node)
+        self._state[node.node_id]["pause_until"] = pause_until
+
+
+class ReferencePointGroupMobility:
+    """Reference Point Group Mobility (RPGM).
+
+    Nodes move in teams: each group has a logical center that follows a
+    random waypoint trajectory; members jitter around their reference
+    point within ``group_radius``. This is the standard model for the
+    paper's emergency-response scenario, where squads of responders move
+    together through the incident area.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        groups: Sequence[Sequence[Node]],
+        width: float,
+        height: float,
+        min_speed: float = 0.5,
+        max_speed: float = 2.0,
+        group_radius: float = 40.0,
+        pause_time: float = 5.0,
+        tick: float = 0.5,
+    ) -> None:
+        if min_speed <= 0 or max_speed < min_speed:
+            raise ValueError("speeds must satisfy 0 < min_speed <= max_speed")
+        if group_radius <= 0:
+            raise ValueError("group_radius must be positive")
+        self.sim = sim
+        self.groups = [list(group) for group in groups]
+        self.width = width
+        self.height = height
+        self.group_radius = group_radius
+        self.tick = tick
+        # The group centers are virtual nodes driven by random waypoint.
+        self._centers = [
+            Node(sim, -(index + 1), ip=None, hostname=f"rpgm-center-{index}")
+            for index in range(len(self.groups))
+        ]
+        for center, group in zip(self._centers, self.groups):
+            if group:
+                xs = [node.position[0] for node in group]
+                ys = [node.position[1] for node in group]
+                center.position = (sum(xs) / len(xs), sum(ys) / len(ys))
+        self._center_mobility = RandomWaypointMobility(
+            sim, self._centers, width, height,
+            min_speed=min_speed, max_speed=max_speed,
+            pause_time=pause_time, tick=tick,
+        )
+        self._offsets: dict[int, tuple[float, float]] = {}
+        self._task: PeriodicTask | None = None
+
+    def start(self) -> "ReferencePointGroupMobility":
+        for group in self.groups:
+            for node in group:
+                self._offsets[node.node_id] = self._random_offset()
+        self._center_mobility.start()
+        self._task = self.sim.schedule_periodic(self.tick, self._step)
+        return self
+
+    def stop(self) -> None:
+        self._center_mobility.stop()
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    def group_center(self, group_index: int) -> tuple[float, float]:
+        return self._centers[group_index].position
+
+    def _random_offset(self) -> tuple[float, float]:
+        radius = self.group_radius * math.sqrt(self.sim.rng.random())
+        angle = self.sim.rng.uniform(0, 2 * math.pi)
+        return (radius * math.cos(angle), radius * math.sin(angle))
+
+    def _step(self) -> None:
+        for center, group in zip(self._centers, self.groups):
+            cx, cy = center.position
+            for node in group:
+                ox, oy = self._offsets[node.node_id]
+                # Members drift slowly around their reference point.
+                if self.sim.rng.random() < 0.1:
+                    self._offsets[node.node_id] = self._random_offset()
+                    ox, oy = self._offsets[node.node_id]
+                node.position = (
+                    min(max(cx + ox, 0.0), self.width),
+                    min(max(cy + oy, 0.0), self.height),
+                )

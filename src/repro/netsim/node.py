@@ -1,0 +1,279 @@
+"""Network node: IP forwarding, UDP transport, netfilter hooks, interfaces.
+
+A node mirrors the parts of a Linux host that SIPHoc relies on: a wireless
+interface on the MANET, optional wired attachment to the Internet cloud,
+optional tunnel interface (installed by the Connection Provider), a small
+policy routing table (MANET subnet via the ad hoc routing daemon, default
+route via wired or tunnel), a UDP socket table and netfilter-style hook
+chains for packet interception.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Protocol
+
+from repro.errors import PortInUseError
+from repro.netsim.capture import Chain, NetfilterHooks
+from repro.netsim.packet import (
+    BROADCAST,
+    DEFAULT_TTL,
+    Datagram,
+    Packet,
+    is_manet_address,
+)
+from repro.netsim.simulator import Simulator
+from repro.netsim.stats import Stats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.netsim.medium import WirelessMedium
+
+DatagramHandler = Callable[[bytes, str, int], None]
+GatewaySendFn = Callable[[Packet], None]
+
+EPHEMERAL_PORT_BASE = 49152
+
+
+class Router(Protocol):
+    """Interface the IP layer expects from a MANET routing protocol.
+
+    ``dispatch`` takes full responsibility for the packet: deliver it over
+    the next hop, buffer it pending route discovery, or drop it.
+    """
+
+    def dispatch(self, packet: Packet) -> None: ...
+
+
+class UdpSocket:
+    """A bound UDP socket on a node."""
+
+    def __init__(self, node: "Node", port: int, handler: DatagramHandler) -> None:
+        self.node = node
+        self.port = port
+        self.handler = handler
+        self.closed = False
+
+    def send(self, dst_ip: str, dport: int, data: bytes, ttl: int = DEFAULT_TTL) -> None:
+        if self.closed:
+            raise OSError(f"socket on port {self.port} is closed")
+        self.node.send_udp(dst_ip, self.port, dport, data, ttl=ttl)
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self.node._release_port(self.port)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"UdpSocket({self.node.ip}:{self.port})"
+
+
+class _DefaultRoute:
+    __slots__ = ("priority", "name", "send")
+
+    def __init__(self, priority: int, name: str, send: GatewaySendFn) -> None:
+        self.priority = priority
+        self.name = name
+        self.send = send
+
+
+class Node:
+    """A host in the simulated network.
+
+    ``ip`` is the MANET (wireless) address; pass ``None`` for pure Internet
+    hosts. A wired address is assigned by ``InternetCloud.attach``; tunnel
+    addresses are added by the Connection Provider via ``add_local_address``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        ip: str | None,
+        position: tuple[float, float] = (0.0, 0.0),
+        stats: Stats | None = None,
+        hostname: str | None = None,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.ip = ip or ""
+        self.position = position
+        self.stats = stats or Stats()
+        self.hostname = hostname or (f"node-{node_id}")
+        self.medium: "WirelessMedium | None" = None
+        self.router: Router | None = None
+        self.hooks = NetfilterHooks()
+        self.wired_ip: str | None = None
+        self._sockets: dict[int, UdpSocket] = {}
+        self._extra_addresses: set[str] = set()
+        self._default_routes: list[_DefaultRoute] = []
+        self._next_ephemeral = EPHEMERAL_PORT_BASE
+        self.up = True  # set False to crash the node (failure injection)
+
+    # -- attachment ----------------------------------------------------------
+    def join_medium(self, medium: "WirelessMedium") -> None:
+        self.medium = medium
+        medium.add_node(self)
+
+    def set_router(self, router: Router) -> None:
+        self.router = router
+
+    # -- addressing ----------------------------------------------------------
+    @property
+    def local_addresses(self) -> set[str]:
+        addrs = set(self._extra_addresses)
+        if self.ip:
+            addrs.add(self.ip)
+        if self.wired_ip:
+            addrs.add(self.wired_ip)
+        return addrs
+
+    def add_local_address(self, ip: str) -> None:
+        self._extra_addresses.add(ip)
+
+    def remove_local_address(self, ip: str) -> None:
+        self._extra_addresses.discard(ip)
+
+    def is_local_address(self, ip: str) -> bool:
+        return ip == "127.0.0.1" or ip in self.local_addresses
+
+    # -- default routes (wired / tunnel) ---------------------------------------
+    def set_default_route(self, name: str, send: GatewaySendFn, priority: int = 10) -> None:
+        """Install (or replace) a named default route; lower priority wins."""
+        self.clear_default_route(name)
+        self._default_routes.append(_DefaultRoute(priority, name, send))
+        self._default_routes.sort(key=lambda route: route.priority)
+
+    def clear_default_route(self, name: str) -> None:
+        self._default_routes = [r for r in self._default_routes if r.name != name]
+
+    def has_default_route(self) -> bool:
+        return bool(self._default_routes)
+
+    def default_route_names(self) -> list[str]:
+        return [route.name for route in self._default_routes]
+
+    # -- transport -------------------------------------------------------------
+    def bind(self, port: int, handler: DatagramHandler) -> UdpSocket:
+        """Bind ``handler(data, src_ip, src_port)`` to a UDP port."""
+        if port in self._sockets:
+            raise PortInUseError(port)
+        socket = UdpSocket(self, port, handler)
+        self._sockets[port] = socket
+        return socket
+
+    def bind_ephemeral(self, handler: DatagramHandler) -> UdpSocket:
+        """Bind to the next free ephemeral port (>= 49152)."""
+        while self._next_ephemeral in self._sockets:
+            self._next_ephemeral += 1
+        port = self._next_ephemeral
+        self._next_ephemeral += 1
+        return self.bind(port, handler)
+
+    def _release_port(self, port: int) -> None:
+        self._sockets.pop(port, None)
+
+    def send_udp(
+        self,
+        dst_ip: str,
+        sport: int,
+        dport: int,
+        data: bytes,
+        ttl: int = DEFAULT_TTL,
+    ) -> None:
+        """Originate a UDP datagram from this node."""
+        if not self.up:
+            return
+        src = self.ip or self.wired_ip or "0.0.0.0"
+        packet = Packet(src=src, dst=dst_ip, payload=Datagram(sport, dport, data), ttl=ttl)
+        mangled = self.hooks.run(Chain.OUTPUT, packet)
+        if mangled is None:
+            return
+        self.route_packet(mangled)
+
+    # -- IP layer ----------------------------------------------------------------
+    def route_packet(self, packet: Packet) -> None:
+        """Forwarding decision for a packet originated by or transiting this node."""
+        if not self.up:
+            return
+        if packet.dst == BROADCAST:
+            if self.medium is not None:
+                self.medium.broadcast(self, packet)
+            return
+        if self.is_local_address(packet.dst):
+            self._deliver(packet)
+            return
+        if packet.ttl <= 0:
+            self.stats.increment("ip.ttl_expired")
+            return
+        if is_manet_address(packet.dst) and self.ip:
+            if self.router is not None:
+                self.router.dispatch(packet)
+            else:
+                self.stats.increment("ip.no_route")
+            return
+        if self._default_routes:
+            self._default_routes[0].send(packet)
+            return
+        self.stats.increment("ip.no_route")
+
+    def link_send(self, next_hop_ip: str, packet: Packet, on_link_failure=None) -> None:
+        """Transmit one wireless hop (used by routing protocols)."""
+        if not self.up or self.medium is None:
+            return
+        if next_hop_ip == BROADCAST:
+            self.medium.broadcast(self, packet)
+        else:
+            self.medium.unicast(self, next_hop_ip, packet, on_link_failure)
+
+    # -- receive paths -------------------------------------------------------------
+    def receive_wireless(self, packet: Packet, from_ip: str) -> None:
+        """Entry point for frames delivered by the wireless medium."""
+        if not self.up:
+            return
+        if packet.dst == BROADCAST or self.is_local_address(packet.dst):
+            mangled = self.hooks.run(Chain.INPUT, packet)
+            if mangled is None:
+                return
+            self._deliver(mangled, from_ip)
+            return
+        # We were the link-layer next hop of a transit packet: forward it.
+        self.route_packet(packet.forwarded())
+
+    def receive_wired(self, packet: Packet) -> None:
+        """Entry point for packets delivered by the Internet cloud."""
+        if not self.up:
+            return
+        if self.is_local_address(packet.dst):
+            mangled = self.hooks.run(Chain.INPUT, packet)
+            if mangled is None:
+                return
+            self._deliver(mangled)
+            return
+        self.route_packet(packet.forwarded())
+
+    def _deliver(self, packet: Packet, from_ip: str | None = None) -> None:
+        socket = self._sockets.get(packet.dport)
+        if socket is None or socket.closed:
+            self.stats.increment("udp.port_unreachable")
+            return
+        socket.handler(packet.data, packet.src, packet.sport)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node({self.hostname}, ip={self.ip or self.wired_ip})"
+
+
+class StaticRouter:
+    """A fixed next-hop table; handy for tests and wired-only topologies."""
+
+    def __init__(self, node: Node) -> None:
+        self.node = node
+        self.table: dict[str, str] = {}
+
+    def add_route(self, dst_ip: str, next_hop_ip: str) -> None:
+        self.table[dst_ip] = next_hop_ip
+
+    def dispatch(self, packet: Packet) -> None:
+        next_hop = self.table.get(packet.dst)
+        if next_hop is None:
+            self.node.stats.increment("ip.no_route")
+            return
+        self.node.link_send(next_hop, packet)

@@ -1,0 +1,206 @@
+"""Discrete-event simulation core.
+
+The simulator is single-threaded and fully deterministic: events fire in
+(time, sequence) order and all randomness flows from one seeded
+``random.Random`` instance owned by the simulator. All higher layers (radio
+medium, routing daemons, SIP timers, RTP schedules) are driven by this clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple[Any, ...] = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Cancellable handle returned by :meth:`Simulator.schedule`."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing. Safe to call more than once."""
+        self._event.cancelled = True
+
+
+class PeriodicTask:
+    """A repeating task created by :meth:`Simulator.schedule_periodic`."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        interval: float,
+        callback: Callable[[], None],
+        jitter: float = 0.0,
+    ) -> None:
+        self._sim = sim
+        self._interval = interval
+        self._jitter = jitter
+        self._callback = callback
+        self._stopped = False
+        self._handle: EventHandle | None = None
+
+    def start(self, initial_delay: float | None = None) -> "PeriodicTask":
+        delay = self._next_delay() if initial_delay is None else initial_delay
+        self._handle = self._sim.schedule(delay, self._fire)
+        return self
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+
+    @property
+    def running(self) -> bool:
+        return not self._stopped
+
+    def _next_delay(self) -> float:
+        if self._jitter <= 0:
+            return self._interval
+        spread = self._jitter * self._interval
+        return self._interval + self._sim.rng.uniform(-spread, spread)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._callback()
+        if not self._stopped:
+            self._handle = self._sim.schedule(self._next_delay(), self._fire)
+
+
+class Simulator:
+    """Deterministic discrete-event simulator with a virtual clock in seconds."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = random.Random(seed)
+        self.seed = seed
+        self._now = 0.0
+        self._seq = 0
+        self._queue: list[_ScheduledEvent] = []
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time:.6f}, clock is already at {self._now:.6f}"
+            )
+        self._seq += 1
+        event = _ScheduledEvent(time=time, seq=self._seq, callback=callback, args=args)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_periodic(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        jitter: float = 0.0,
+        initial_delay: float | None = None,
+    ) -> PeriodicTask:
+        """Run ``callback`` every ``interval`` seconds (optionally jittered).
+
+        ``jitter`` is a fraction of the interval: with ``jitter=0.1`` each
+        period is drawn uniformly from ``interval * [0.9, 1.1]``. Returns the
+        started :class:`PeriodicTask`; call :meth:`PeriodicTask.stop` to end it.
+        """
+        if interval <= 0:
+            raise SimulationError(f"periodic interval must be positive, got {interval}")
+        task = PeriodicTask(self, interval, callback, jitter=jitter)
+        return task.start(initial_delay=initial_delay)
+
+    def run(self, until: float) -> None:
+        """Process events until the clock reaches ``until`` seconds.
+
+        The clock always ends exactly at ``until`` even if the queue drains
+        early, so repeated ``run`` calls compose predictably.
+        """
+        if until < self._now:
+            raise SimulationError(
+                f"cannot run until {until:.6f}, clock is already at {self._now:.6f}"
+            )
+        while self._queue and self._queue[0].time <= until:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            event.callback(*event.args)
+        self._now = until
+
+    def run_until_idle(self, max_time: float = 3600.0) -> None:
+        """Process events until the queue drains or ``max_time`` is reached.
+
+        Useful in tests; periodic tasks never drain, so most scenarios should
+        prefer :meth:`run`.
+        """
+        while self._queue and self._queue[0].time <= max_time:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            event.callback(*event.args)
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        timeout: float,
+        step: float = 0.05,
+    ) -> bool:
+        """Advance time in ``step`` increments until ``predicate()`` is true.
+
+        Returns ``True`` if the predicate became true before ``timeout``
+        (absolute deadline of ``now + timeout``), ``False`` otherwise.
+        """
+        deadline = self._now + timeout
+        while self._now < deadline:
+            if predicate():
+                return True
+            self.run(min(self._now + step, deadline))
+        return predicate()

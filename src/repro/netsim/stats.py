@@ -1,0 +1,151 @@
+"""Measurement infrastructure: counters, byte accounting and samples.
+
+One :class:`Stats` object per simulation collects everything the experiment
+harness needs: per-port on-air traffic (control overhead), arbitrary named
+counters, and latency samples (e.g. call setup delays).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.netsim.packet import PORT_AODV, PORT_OLSR, PORT_SIP, PORT_SLP
+
+
+@dataclass
+class TrafficCounter:
+    """Packets and bytes transmitted for one traffic class."""
+
+    packets: int = 0
+    bytes: int = 0
+
+    def add(self, size: int) -> None:
+        self.packets += 1
+        self.bytes += size
+
+
+@dataclass
+class SampleSeries:
+    """A collection of numeric samples with summary statistics."""
+
+    values: list[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else math.nan
+
+    @property
+    def minimum(self) -> float:
+        return min(self.values) if self.values else math.nan
+
+    @property
+    def maximum(self) -> float:
+        return max(self.values) if self.values else math.nan
+
+    @property
+    def stddev(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((v - mu) ** 2 for v in self.values) / (len(self.values) - 1))
+
+    def percentile(self, pct: float) -> float:
+        """Nearest-rank percentile, ``pct`` in [0, 100]."""
+        if not self.values:
+            return math.nan
+        ordered = sorted(self.values)
+        rank = max(0, min(len(ordered) - 1, math.ceil(pct / 100.0 * len(ordered)) - 1))
+        return ordered[rank]
+
+
+_PORT_LABELS = {
+    PORT_AODV: "aodv",
+    PORT_OLSR: "olsr",
+    PORT_SIP: "sip",
+    PORT_SLP: "slp",
+}
+
+
+def traffic_class_for_port(dport: int) -> str:
+    """Map a UDP destination port to a coarse traffic class label."""
+    label = _PORT_LABELS.get(dport)
+    if label is not None:
+        return label
+    if 16384 <= dport < 32768:
+        return "rtp"
+    if dport in (5062, 5063):
+        return "siphoc"
+    if dport == 5065:
+        return "flooding-register"  # baseline: broadcast REGISTER flooding
+    if dport == 5066:
+        return "proactive-hello"  # baseline: Pico-SIP HELLO mapping
+    if 5060 <= dport < 5100:
+        return "sip"  # softphone/WAN-leg ports
+    return "other"
+
+
+class Stats:
+    """Simulation-wide measurement registry."""
+
+    def __init__(self) -> None:
+        self.traffic: dict[str, TrafficCounter] = defaultdict(TrafficCounter)
+        self.counters: dict[str, int] = defaultdict(int)
+        self.samples: dict[str, SampleSeries] = defaultdict(SampleSeries)
+
+    # -- traffic -----------------------------------------------------------
+    def record_transmission(self, dport: int, size: int) -> None:
+        """Account one on-air transmission of ``size`` bytes to port ``dport``."""
+        self.traffic[traffic_class_for_port(dport)].add(size)
+        self.traffic["total"].add(size)
+
+    def traffic_bytes(self, traffic_class: str) -> int:
+        return self.traffic[traffic_class].bytes
+
+    def traffic_packets(self, traffic_class: str) -> int:
+        return self.traffic[traffic_class].packets
+
+    # -- counters ----------------------------------------------------------
+    def increment(self, name: str, amount: int = 1) -> None:
+        self.counters[name] += amount
+
+    def count(self, name: str) -> int:
+        return self.counters[name]
+
+    # -- samples -----------------------------------------------------------
+    def sample(self, name: str, value: float) -> None:
+        self.samples[name].add(value)
+
+    def series(self, name: str) -> SampleSeries:
+        return self.samples[name]
+
+    # -- reporting ---------------------------------------------------------
+    def summary(self) -> dict[str, object]:
+        """A plain-dict snapshot suitable for printing or assertions."""
+        return {
+            "traffic": {
+                name: {"packets": counter.packets, "bytes": counter.bytes}
+                for name, counter in sorted(self.traffic.items())
+            },
+            "counters": dict(sorted(self.counters.items())),
+            "samples": {
+                name: {
+                    "count": series.count,
+                    "mean": series.mean,
+                    "min": series.minimum,
+                    "max": series.maximum,
+                }
+                for name, series in sorted(self.samples.items())
+            },
+        }

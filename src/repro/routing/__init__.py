@@ -1,0 +1,67 @@
+"""MANET routing protocols: AODV (RFC 3561) and OLSR (RFC 3626).
+
+Both daemons bind their IANA UDP port on a simulated node, act as the
+node's IP-layer router for MANET destinations, and exchange byte-accurate
+control messages that the SIPHoc handler plugins can piggyback onto.
+"""
+
+from repro.routing.aodv import SLP_ANYCAST, Aodv
+from repro.routing.base import Route, RouteTable, RoutingProtocol
+from repro.routing.messages import (
+    AODV_RERR,
+    AODV_RREP,
+    AODV_RREQ,
+    LINK_MPR,
+    LINK_SYM,
+    OLSR_HELLO,
+    OLSR_SLP,
+    OLSR_TC,
+    Extension,
+    HelloBody,
+    OlsrMessage,
+    Rerr,
+    Rrep,
+    Rreq,
+    TcBody,
+    decode_aodv,
+    decode_hello_body,
+    decode_olsr_packet,
+    decode_tc_body,
+    encode_aodv,
+    encode_hello_body,
+    encode_olsr_packet,
+    encode_tc_body,
+)
+from repro.routing.olsr import Olsr
+
+__all__ = [
+    "AODV_RERR",
+    "AODV_RREP",
+    "AODV_RREQ",
+    "Aodv",
+    "Extension",
+    "HelloBody",
+    "LINK_MPR",
+    "LINK_SYM",
+    "OLSR_HELLO",
+    "OLSR_SLP",
+    "OLSR_TC",
+    "Olsr",
+    "OlsrMessage",
+    "Rerr",
+    "Route",
+    "RouteTable",
+    "RoutingProtocol",
+    "Rrep",
+    "Rreq",
+    "SLP_ANYCAST",
+    "TcBody",
+    "decode_aodv",
+    "decode_hello_body",
+    "decode_olsr_packet",
+    "decode_tc_body",
+    "encode_aodv",
+    "encode_hello_body",
+    "encode_olsr_packet",
+    "encode_tc_body",
+]

@@ -1,0 +1,323 @@
+"""Wire formats for AODV (RFC 3561) and OLSR (RFC 3626) control messages.
+
+Both codecs support trailing *extensions* — the mechanism SIPHoc uses to
+piggyback SLP payloads onto routing traffic:
+
+* AODV datagrams carry one base message followed by TLV extension blocks
+  (``ext_type:u8, length:u16, body``).
+* OLSR packets are containers of messages; piggybacked payloads travel as
+  additional messages with a type >= 128, which compliant daemons flood via
+  the default forwarding algorithm without understanding them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CodecError
+from repro.routing.wire import Reader, Writer
+
+# -- shared extension container ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Extension:
+    """An opaque piggybacked payload attached to a routing message."""
+
+    ext_type: int
+    body: bytes
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.ext_type <= 255:
+            raise CodecError(f"extension type out of range: {self.ext_type}")
+
+
+def encode_extensions(extensions: tuple[Extension, ...] | list[Extension]) -> bytes:
+    writer = Writer()
+    for ext in extensions:
+        writer.u8(ext.ext_type).u16(len(ext.body)).raw(ext.body)
+    return writer.getvalue()
+
+
+def decode_extensions(reader: Reader) -> list[Extension]:
+    extensions = []
+    while reader.remaining > 0:
+        ext_type = reader.u8()
+        length = reader.u16()
+        extensions.append(Extension(ext_type, reader.raw(length)))
+    return extensions
+
+
+# -- AODV ------------------------------------------------------------------------
+
+AODV_RREQ = 1
+AODV_RREP = 2
+AODV_RERR = 3
+
+RREQ_FLAG_DEST_ONLY = 0x01
+RREQ_FLAG_UNKNOWN_SEQ = 0x02
+
+
+@dataclass
+class Rreq:
+    """Route Request: flooded to discover a route to ``dest_ip``."""
+
+    rreq_id: int
+    dest_ip: str
+    dest_seq: int
+    orig_ip: str
+    orig_seq: int
+    hop_count: int = 0
+    flags: int = 0
+
+    @property
+    def dest_only(self) -> bool:
+        return bool(self.flags & RREQ_FLAG_DEST_ONLY)
+
+    @property
+    def unknown_seq(self) -> bool:
+        return bool(self.flags & RREQ_FLAG_UNKNOWN_SEQ)
+
+
+@dataclass
+class Rrep:
+    """Route Reply: unicast back along the reverse route to ``orig_ip``."""
+
+    dest_ip: str
+    dest_seq: int
+    orig_ip: str
+    lifetime_ms: int
+    hop_count: int = 0
+
+    def is_hello(self) -> bool:
+        """AODV hello messages are RREPs with dest == orig and hop count 0."""
+        return self.dest_ip == self.orig_ip and self.hop_count == 0
+
+
+@dataclass
+class Rerr:
+    """Route Error: lists destinations that became unreachable."""
+
+    unreachable: list[tuple[str, int]] = field(default_factory=list)
+
+
+AodvMessage = Rreq | Rrep | Rerr
+
+
+def encode_aodv(
+    message: AodvMessage, extensions: tuple[Extension, ...] | list[Extension] = ()
+) -> bytes:
+    """Serialize one AODV message plus optional piggybacked extensions."""
+    writer = Writer()
+    if isinstance(message, Rreq):
+        writer.u8(AODV_RREQ).u8(message.flags).u8(0).u8(message.hop_count)
+        writer.u32(message.rreq_id)
+        writer.ip(message.dest_ip).u32(message.dest_seq)
+        writer.ip(message.orig_ip).u32(message.orig_seq)
+    elif isinstance(message, Rrep):
+        writer.u8(AODV_RREP).u8(0).u8(0).u8(message.hop_count)
+        writer.ip(message.dest_ip).u32(message.dest_seq)
+        writer.ip(message.orig_ip).u32(message.lifetime_ms)
+    elif isinstance(message, Rerr):
+        if len(message.unreachable) > 255:
+            raise CodecError("RERR cannot list more than 255 destinations")
+        writer.u8(AODV_RERR).u8(0).u8(0).u8(len(message.unreachable))
+        for ip, seq in message.unreachable:
+            writer.ip(ip).u32(seq)
+    else:  # pragma: no cover - defensive
+        raise CodecError(f"unknown AODV message {message!r}")
+    writer.raw(encode_extensions(extensions))
+    return writer.getvalue()
+
+
+def decode_aodv(data: bytes) -> tuple[AodvMessage, list[Extension]]:
+    """Parse an AODV datagram into its base message and extensions."""
+    reader = Reader(data)
+    msg_type = reader.u8()
+    message: AodvMessage
+    if msg_type == AODV_RREQ:
+        flags = reader.u8()
+        reader.u8()  # reserved
+        hop_count = reader.u8()
+        rreq_id = reader.u32()
+        dest_ip, dest_seq = reader.ip(), reader.u32()
+        orig_ip, orig_seq = reader.ip(), reader.u32()
+        message = Rreq(
+            rreq_id=rreq_id,
+            dest_ip=dest_ip,
+            dest_seq=dest_seq,
+            orig_ip=orig_ip,
+            orig_seq=orig_seq,
+            hop_count=hop_count,
+            flags=flags,
+        )
+    elif msg_type == AODV_RREP:
+        reader.u8()  # flags
+        reader.u8()  # prefix size
+        hop_count = reader.u8()
+        dest_ip, dest_seq = reader.ip(), reader.u32()
+        orig_ip, lifetime_ms = reader.ip(), reader.u32()
+        message = Rrep(
+            dest_ip=dest_ip,
+            dest_seq=dest_seq,
+            orig_ip=orig_ip,
+            lifetime_ms=lifetime_ms,
+            hop_count=hop_count,
+        )
+    elif msg_type == AODV_RERR:
+        reader.u8()  # flags
+        reader.u8()  # reserved
+        count = reader.u8()
+        unreachable = [(reader.ip(), reader.u32()) for _ in range(count)]
+        message = Rerr(unreachable=unreachable)
+    else:
+        raise CodecError(f"unknown AODV message type {msg_type}")
+    return message, decode_extensions(reader)
+
+
+# -- OLSR --------------------------------------------------------------------------
+
+OLSR_HELLO = 1
+OLSR_TC = 2
+OLSR_SLP = 130  # SIPHoc piggyback message (unknown to plain OLSR, flooded anyway)
+
+LINK_ASYM = 1
+LINK_SYM = 2
+LINK_MPR = 3
+
+_OLSR_MSG_HEADER = 12
+
+
+@dataclass
+class OlsrMessage:
+    """Generic OLSR message envelope; ``body`` stays opaque at this layer."""
+
+    msg_type: int
+    orig_ip: str
+    seq: int
+    body: bytes
+    vtime: float = 6.0
+    ttl: int = 255
+    hops: int = 0
+
+    def key(self) -> tuple[str, int]:
+        """Duplicate-suppression key used by the flooding algorithm."""
+        return (self.orig_ip, self.seq)
+
+
+@dataclass
+class HelloBody:
+    """OLSR HELLO: the sender's view of its links, by link code."""
+
+    links: dict[int, list[str]] = field(default_factory=dict)
+    willingness: int = 3
+
+    def all_neighbors(self) -> list[str]:
+        return [ip for ips in self.links.values() for ip in ips]
+
+
+@dataclass
+class TcBody:
+    """OLSR Topology Control: advertised (MPR-selector) neighbors."""
+
+    ansn: int
+    neighbors: list[str] = field(default_factory=list)
+
+
+def _encode_vtime(seconds: float) -> int:
+    return max(0, min(255, int(seconds * 4)))
+
+
+def _decode_vtime(raw: int) -> float:
+    return raw / 4.0
+
+
+def encode_hello_body(body: HelloBody) -> bytes:
+    writer = Writer()
+    writer.u8(0).u8(body.willingness)
+    for link_code in sorted(body.links):
+        ips = body.links[link_code]
+        writer.u8(link_code).u8(0).u16(len(ips))
+        for ip in ips:
+            writer.ip(ip)
+    return writer.getvalue()
+
+
+def decode_hello_body(data: bytes) -> HelloBody:
+    reader = Reader(data)
+    reader.u8()  # htime (unused)
+    willingness = reader.u8()
+    links: dict[int, list[str]] = {}
+    while reader.remaining > 0:
+        link_code = reader.u8()
+        reader.u8()  # reserved
+        count = reader.u16()
+        links.setdefault(link_code, []).extend(reader.ip() for _ in range(count))
+    return HelloBody(links=links, willingness=willingness)
+
+
+def encode_tc_body(body: TcBody) -> bytes:
+    writer = Writer()
+    writer.u16(body.ansn).u16(0)
+    for ip in body.neighbors:
+        writer.ip(ip)
+    return writer.getvalue()
+
+
+def decode_tc_body(data: bytes) -> TcBody:
+    reader = Reader(data)
+    ansn = reader.u16()
+    reader.u16()  # reserved
+    neighbors = []
+    while reader.remaining >= 4:
+        neighbors.append(reader.ip())
+    return TcBody(ansn=ansn, neighbors=neighbors)
+
+
+def encode_olsr_packet(packet_seq: int, messages: list[OlsrMessage]) -> bytes:
+    """Serialize an OLSR packet (header + concatenated messages)."""
+    writer = Writer()
+    body = Writer()
+    for message in messages:
+        size = _OLSR_MSG_HEADER + len(message.body)
+        body.u8(message.msg_type).u8(_encode_vtime(message.vtime)).u16(size)
+        body.ip(message.orig_ip)
+        body.u8(message.ttl).u8(message.hops).u16(message.seq)
+        body.raw(message.body)
+    payload = body.getvalue()
+    writer.u16(4 + len(payload)).u16(packet_seq).raw(payload)
+    return writer.getvalue()
+
+
+def decode_olsr_packet(data: bytes) -> tuple[int, list[OlsrMessage]]:
+    """Parse an OLSR packet into its sequence number and messages."""
+    reader = Reader(data)
+    length = reader.u16()
+    if length != len(data):
+        raise CodecError(f"OLSR packet length mismatch: header says {length}, got {len(data)}")
+    packet_seq = reader.u16()
+    messages = []
+    while reader.remaining > 0:
+        msg_type = reader.u8()
+        vtime = _decode_vtime(reader.u8())
+        size = reader.u16()
+        orig_ip = reader.ip()
+        ttl = reader.u8()
+        hops = reader.u8()
+        seq = reader.u16()
+        body_len = size - _OLSR_MSG_HEADER
+        if body_len < 0:
+            raise CodecError(f"OLSR message size too small: {size}")
+        body = reader.raw(body_len)
+        messages.append(
+            OlsrMessage(
+                msg_type=msg_type,
+                orig_ip=orig_ip,
+                seq=seq,
+                body=body,
+                vtime=vtime,
+                ttl=ttl,
+                hops=hops,
+            )
+        )
+    return packet_seq, messages

@@ -1,0 +1,99 @@
+"""Low-level binary encoding helpers shared by the routing codecs.
+
+Addresses are encoded as 4-byte IPv4, multi-byte integers are big-endian
+(network order), matching RFC 3561 / RFC 3626 conventions.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import CodecError
+
+
+def encode_ip(ip: str) -> bytes:
+    try:
+        parts = [int(part) for part in ip.split(".")]
+    except ValueError as exc:
+        raise CodecError(f"invalid IPv4 address {ip!r}") from exc
+    if len(parts) != 4 or not all(0 <= part <= 255 for part in parts):
+        raise CodecError(f"invalid IPv4 address {ip!r}")
+    return bytes(parts)
+
+
+def decode_ip(data: bytes, offset: int = 0) -> str:
+    if len(data) < offset + 4:
+        raise CodecError("truncated IPv4 address")
+    return ".".join(str(b) for b in data[offset : offset + 4])
+
+
+class Reader:
+    """Sequential binary reader with bounds checking."""
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.offset = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self.data) - self.offset
+
+    def _take(self, count: int) -> bytes:
+        if self.remaining < count:
+            raise CodecError(
+                f"truncated message: wanted {count} bytes, {self.remaining} left"
+            )
+        chunk = self.data[self.offset : self.offset + count]
+        self.offset += count
+        return chunk
+
+    def u8(self) -> int:
+        return self._take(1)[0]
+
+    def u16(self) -> int:
+        return struct.unpack("!H", self._take(2))[0]
+
+    def u32(self) -> int:
+        return struct.unpack("!I", self._take(4))[0]
+
+    def ip(self) -> str:
+        return decode_ip(self._take(4))
+
+    def raw(self, count: int) -> bytes:
+        return self._take(count)
+
+    def rest(self) -> bytes:
+        return self._take(self.remaining)
+
+
+class Writer:
+    """Sequential binary writer."""
+
+    def __init__(self) -> None:
+        self._parts: list[bytes] = []
+
+    def u8(self, value: int) -> "Writer":
+        self._parts.append(struct.pack("!B", value))
+        return self
+
+    def u16(self, value: int) -> "Writer":
+        self._parts.append(struct.pack("!H", value))
+        return self
+
+    def u32(self, value: int) -> "Writer":
+        self._parts.append(struct.pack("!I", value))
+        return self
+
+    def ip(self, ip: str) -> "Writer":
+        self._parts.append(encode_ip(ip))
+        return self
+
+    def raw(self, data: bytes) -> "Writer":
+        self._parts.append(data)
+        return self
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._parts)
+
+    def __len__(self) -> int:
+        return sum(len(part) for part in self._parts)

@@ -1,0 +1,59 @@
+"""RTP media transport and call quality measurement.
+
+Codec-paced RTP streams over the simulated network, a receiver-side jitter
+buffer, and ITU-T G.107 E-model scoring (R factor / MOS) — the substitute
+for the paper's live audio path on laptops and iPAQ handhelds.
+"""
+
+from repro.rtp.codecs import (
+    CODECS_BY_NAME,
+    CODECS_BY_PAYLOAD_TYPE,
+    Codec,
+    G711,
+    G711A,
+    G729,
+    H263,
+    codec_for_payload_type,
+)
+from repro.rtp.jitter import JitterBuffer, JitterBufferStats
+from repro.rtp.packet import (
+    RTP_HEADER_BYTES,
+    RtpPacket,
+    decode_rtp,
+    extract_send_time,
+    make_voice_payload,
+)
+from repro.rtp.quality import (
+    CallQuality,
+    delay_impairment,
+    loss_impairment,
+    mos_from_r,
+    r_factor,
+    score_stream,
+)
+from repro.rtp.session import RtpSession
+
+__all__ = [
+    "CODECS_BY_NAME",
+    "CODECS_BY_PAYLOAD_TYPE",
+    "CallQuality",
+    "Codec",
+    "G711",
+    "G711A",
+    "G729",
+    "H263",
+    "JitterBuffer",
+    "JitterBufferStats",
+    "RTP_HEADER_BYTES",
+    "RtpPacket",
+    "RtpSession",
+    "codec_for_payload_type",
+    "decode_rtp",
+    "delay_impairment",
+    "extract_send_time",
+    "loss_impairment",
+    "make_voice_payload",
+    "mos_from_r",
+    "r_factor",
+    "score_stream",
+]

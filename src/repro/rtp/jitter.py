@@ -1,0 +1,66 @@
+"""Receiver-side jitter buffer.
+
+A fixed-playout-delay dejitter buffer: the first packet anchors the playout
+schedule; every subsequent frame must arrive before its slot
+(anchor + playout_delay + k * frame_interval) or it is discarded as late.
+Conservative but standard for VoIP quality studies, and exactly what the
+E-model's effective-loss input expects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class JitterBufferStats:
+    received: int = 0
+    played: int = 0
+    late_dropped: int = 0
+    duplicates: int = 0
+
+    @property
+    def late_ratio(self) -> float:
+        return self.late_dropped / self.received if self.received else 0.0
+
+
+@dataclass
+class JitterBuffer:
+    """Classifies arriving frames as playable or late."""
+
+    frame_interval: float
+    playout_delay: float = 0.06
+    stats: JitterBufferStats = field(default_factory=JitterBufferStats)
+    _anchor_time: float | None = None
+    _anchor_seq: int | None = None
+    _seen: set[int] = field(default_factory=set)
+
+    def on_packet(self, sequence: int, arrival_time: float) -> bool:
+        """Record an arrival; returns True if the frame makes its slot."""
+        self.stats.received += 1
+        if sequence in self._seen:
+            self.stats.duplicates += 1
+            return False
+        self._seen.add(sequence)
+        if len(self._seen) > 65536:
+            self._seen.clear()
+        if self._anchor_time is None or self._anchor_seq is None:
+            self._anchor_time = arrival_time
+            self._anchor_seq = sequence
+            self.stats.played += 1
+            return True
+        offset = _seq_delta(sequence, self._anchor_seq)
+        playout_at = self._anchor_time + self.playout_delay + offset * self.frame_interval
+        if arrival_time <= playout_at:
+            self.stats.played += 1
+            return True
+        self.stats.late_dropped += 1
+        return False
+
+
+def _seq_delta(sequence: int, anchor: int) -> int:
+    """Wrap-aware distance from anchor to sequence (16-bit space)."""
+    delta = (sequence - anchor) & 0xFFFF
+    if delta >= 0x8000:
+        delta -= 0x10000
+    return delta

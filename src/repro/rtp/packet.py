@@ -1,0 +1,73 @@
+"""RTP packet format (RFC 3550, fixed 12-byte header, no CSRC/extensions).
+
+The payload of simulated voice frames embeds the send timestamp in its
+first 8 bytes so the receiver can measure true one-way (mouth-to-ear)
+delay; the rest is zero filler up to the codec frame size. This is a
+measurement aid of the simulation, not a protocol deviation — the bytes on
+air have exactly the real frame size.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import CodecError
+
+RTP_VERSION = 2
+RTP_HEADER_BYTES = 12
+
+_HEADER = struct.Struct("!BBHII")
+_TS = struct.Struct("!d")
+
+
+@dataclass
+class RtpPacket:
+    payload_type: int
+    sequence: int
+    timestamp: int
+    ssrc: int
+    payload: bytes
+    marker: bool = False
+
+    @property
+    def size(self) -> int:
+        return RTP_HEADER_BYTES + len(self.payload)
+
+    def encode(self) -> bytes:
+        first = (RTP_VERSION << 6)  # no padding, no extension, zero CSRCs
+        second = (0x80 if self.marker else 0) | (self.payload_type & 0x7F)
+        header = _HEADER.pack(
+            first, second, self.sequence & 0xFFFF, self.timestamp & 0xFFFFFFFF, self.ssrc
+        )
+        return header + self.payload
+
+
+def decode_rtp(data: bytes) -> RtpPacket:
+    if len(data) < RTP_HEADER_BYTES:
+        raise CodecError("RTP packet too short")
+    first, second, sequence, timestamp, ssrc = _HEADER.unpack_from(data)
+    version = first >> 6
+    if version != RTP_VERSION:
+        raise CodecError(f"unsupported RTP version {version}")
+    return RtpPacket(
+        payload_type=second & 0x7F,
+        marker=bool(second & 0x80),
+        sequence=sequence,
+        timestamp=timestamp,
+        ssrc=ssrc,
+        payload=data[RTP_HEADER_BYTES:],
+    )
+
+
+def make_voice_payload(frame_bytes: int, send_time: float) -> bytes:
+    """A codec frame of ``frame_bytes`` with the send time stamped inside."""
+    if frame_bytes < _TS.size:
+        raise CodecError(f"frame too small to carry a timestamp: {frame_bytes}")
+    return _TS.pack(send_time) + bytes(frame_bytes - _TS.size)
+
+
+def extract_send_time(payload: bytes) -> float:
+    if len(payload) < _TS.size:
+        raise CodecError("payload too short for a send timestamp")
+    return _TS.unpack_from(payload)[0]

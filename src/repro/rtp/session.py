@@ -1,0 +1,158 @@
+"""RTP sessions: codec-paced senders and measuring receivers.
+
+An :class:`RtpSession` binds one local UDP port, streams codec frames to
+the negotiated remote endpoint and measures the inbound stream (delay from
+embedded send timestamps, RFC 3550 interarrival jitter, losses, and
+jitter-buffer late drops), producing a :class:`CallQuality` score.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import CodecError
+from repro.netsim.node import Node
+from repro.rtp.codecs import Codec, G711
+from repro.rtp.jitter import JitterBuffer
+from repro.rtp.packet import (
+    RtpPacket,
+    decode_rtp,
+    extract_send_time,
+    make_voice_payload,
+)
+from repro.rtp.quality import CallQuality, score_stream
+
+_ssrc_counter = itertools.count(0x1000)
+
+
+class RtpSession:
+    """One bidirectional voice stream endpoint."""
+
+    def __init__(
+        self,
+        node: Node,
+        local_port: int,
+        remote: tuple[str, int] | None = None,
+        codec: Codec = G711,
+        playout_delay: float = 0.06,
+    ) -> None:
+        self.node = node
+        self.sim = node.sim
+        self.codec = codec
+        self.local_port = local_port
+        self.remote = remote
+        self.ssrc = next(_ssrc_counter)
+        self._socket = node.bind(local_port, self._on_datagram)
+        self._send_task = None
+        self._sequence = self.sim.rng.randrange(0, 0x8000) if hasattr(self.sim, "rng") else 0
+        self._timestamp = 0
+        self.packets_sent = 0
+        # Receiver-side measurement state.
+        self.jitter_buffer = JitterBuffer(
+            frame_interval=codec.frame_interval, playout_delay=playout_delay
+        )
+        self.delays: list[float] = []
+        self._jitter = 0.0
+        self._last_transit: float | None = None
+        self._first_seq: int | None = None
+        self._highest_seq: int | None = None
+        self.closed = False
+
+    # -- sender ----------------------------------------------------------------
+    def start_sending(self, remote: tuple[str, int] | None = None) -> None:
+        if remote is not None:
+            self.remote = remote
+        if self.remote is None:
+            raise CodecError("RTP session has no remote endpoint to stream to")
+        if self._send_task is None:
+            self._send_task = self.sim.schedule_periodic(
+                self.codec.frame_interval, self._send_frame
+            )
+
+    def stop_sending(self) -> None:
+        if self._send_task is not None:
+            self._send_task.stop()
+            self._send_task = None
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self.stop_sending()
+            self._socket.close()
+
+    def _send_frame(self) -> None:
+        assert self.remote is not None
+        packet = RtpPacket(
+            payload_type=self.codec.payload_type,
+            sequence=self._sequence,
+            timestamp=self._timestamp,
+            ssrc=self.ssrc,
+            payload=make_voice_payload(self.codec.frame_bytes, self.sim.now),
+            marker=self.packets_sent == 0,
+        )
+        self._sequence = (self._sequence + 1) & 0xFFFF
+        self._timestamp = (self._timestamp + self.codec.timestamp_increment) & 0xFFFFFFFF
+        self.packets_sent += 1
+        self._socket.send(self.remote[0], self.remote[1], packet.encode())
+
+    # -- receiver -----------------------------------------------------------------
+    def _on_datagram(self, data: bytes, src_ip: str, sport: int) -> None:
+        if self.closed:
+            return
+        try:
+            packet = decode_rtp(data)
+        except CodecError:
+            self.node.stats.increment("rtp.bad_packets")
+            return
+        now = self.sim.now
+        try:
+            send_time = extract_send_time(packet.payload)
+        except CodecError:
+            send_time = now
+        delay = max(0.0, now - send_time)
+        self.delays.append(delay)
+        # RFC 3550 interarrival jitter estimate.
+        transit = now - packet.timestamp / self.codec.sample_rate
+        if self._last_transit is not None:
+            deviation = abs(transit - self._last_transit)
+            self._jitter += (deviation - self._jitter) / 16.0
+        self._last_transit = transit
+        if self._first_seq is None:
+            self._first_seq = packet.sequence
+            self._highest_seq = packet.sequence
+        else:
+            assert self._highest_seq is not None
+            if _seq_greater(packet.sequence, self._highest_seq):
+                self._highest_seq = packet.sequence
+        self.jitter_buffer.on_packet(packet.sequence, now)
+
+    # -- measurement ---------------------------------------------------------------
+    @property
+    def packets_received(self) -> int:
+        return self.jitter_buffer.stats.received
+
+    @property
+    def packets_expected(self) -> int:
+        if self._first_seq is None or self._highest_seq is None:
+            return 0
+        return ((self._highest_seq - self._first_seq) & 0xFFFF) + 1
+
+    @property
+    def interarrival_jitter(self) -> float:
+        return self._jitter
+
+    def quality(self, expected_override: int | None = None) -> CallQuality:
+        """Score the received stream with the E-model."""
+        expected = expected_override if expected_override is not None else self.packets_expected
+        return score_stream(
+            codec=self.codec,
+            packets_expected=expected,
+            packets_received=self.packets_received,
+            packets_played=self.jitter_buffer.stats.played,
+            delays=self.delays,
+            jitter=self._jitter,
+        )
+
+
+def _seq_greater(a: int, b: int) -> bool:
+    return ((a - b) & 0xFFFF) < 0x8000 and a != b

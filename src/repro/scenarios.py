@@ -1,0 +1,210 @@
+"""Scenario builders: reusable topologies and call workloads.
+
+Everything the examples, integration tests and benchmarks share lives
+here: MANET construction (chain / grid / random with either routing
+protocol), optional Internet attachment with SIP providers, phone
+placement, and call workload execution with metric collection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import SipAccount
+from repro.core.provider import SipProvider
+from repro.core.softphone import SoftPhone
+from repro.core.stack import SiphocStack
+from repro.errors import ConfigError
+from repro.netsim.internet import InternetCloud
+from repro.netsim.medium import WirelessMedium
+from repro.netsim.mobility import (
+    RandomWaypointMobility,
+    place_chain,
+    place_grid,
+    place_random,
+)
+from repro.netsim.node import Node
+from repro.netsim.packet import manet_ip
+from repro.netsim.simulator import Simulator
+from repro.netsim.stats import Stats
+from repro.sip.ua import CallState
+
+DEFAULT_DOMAIN = "voicehoc.ch"
+
+
+@dataclass
+class ManetConfig:
+    """Parameters of a simulated MANET."""
+
+    n_nodes: int = 5
+    topology: str = "chain"  # chain | grid | random
+    routing: str = "aodv"  # aodv | olsr
+    seed: int = 1
+    tx_range: float = 150.0
+    spacing: float = 100.0  # chain/grid spacing
+    area: tuple[float, float] = (600.0, 600.0)  # random placement area
+    loss_rate: float = 0.0
+    mac_retries: int = 3  # 802.11-style link-layer retransmissions
+    mobility: bool = False
+    mobility_speed: tuple[float, float] = (0.5, 2.0)
+    mobility_pause: float = 5.0
+    internet_gateways: int = 0  # how many nodes get wired attachments
+    providers: tuple[str, ...] = ()
+    strict_providers: tuple[str, ...] = ()  # providers mandating an SBC
+
+
+class ManetScenario:
+    """A fully wired simulation: MANET + optional Internet + SIPHoc stacks."""
+
+    def __init__(self, config: ManetConfig | None = None, **overrides) -> None:
+        base = config or ManetConfig()
+        for key, value in overrides.items():
+            if not hasattr(base, key):
+                raise ConfigError(f"unknown scenario parameter {key!r}")
+            setattr(base, key, value)
+        self.config = base
+        self.sim = Simulator(seed=base.seed)
+        self.stats = Stats()
+        self.medium = WirelessMedium(
+            self.sim,
+            stats=self.stats,
+            tx_range=base.tx_range,
+            loss_rate=base.loss_rate,
+            mac_retries=base.mac_retries,
+        )
+        self.cloud: InternetCloud | None = None
+        self.providers: dict[str, SipProvider] = {}
+        needs_cloud = base.internet_gateways > 0 or base.providers or base.strict_providers
+        if needs_cloud:
+            self.cloud = InternetCloud(self.sim, stats=self.stats)
+            for domain in base.providers:
+                self.providers[domain] = SipProvider(self.cloud, domain)
+            for domain in base.strict_providers:
+                self.providers[domain] = SipProvider(
+                    self.cloud, domain, requires_outbound_proxy=True
+                )
+        self.nodes: list[Node] = []
+        for index in range(base.n_nodes):
+            node = Node(self.sim, index, manet_ip(index), stats=self.stats)
+            node.join_medium(self.medium)
+            self.nodes.append(node)
+        self._place_nodes()
+        if self.cloud is not None:
+            # Gateways are the last nodes (edge of a chain, corner of a grid).
+            for node in self.nodes[-base.internet_gateways :] if base.internet_gateways else []:
+                self.cloud.attach(node)
+        self.stacks: list[SiphocStack] = [
+            SiphocStack(node, routing=base.routing, cloud=self.cloud)
+            for node in self.nodes
+        ]
+        self.mobility: RandomWaypointMobility | None = None
+        if base.mobility:
+            self.mobility = RandomWaypointMobility(
+                self.sim,
+                self.nodes,
+                width=base.area[0],
+                height=base.area[1],
+                min_speed=base.mobility_speed[0],
+                max_speed=base.mobility_speed[1],
+                pause_time=base.mobility_pause,
+            )
+        self.phones: dict[str, SoftPhone] = {}
+        self._started = False
+
+    def _place_nodes(self) -> None:
+        topology = self.config.topology
+        if topology == "chain":
+            place_chain(self.nodes, self.config.spacing)
+        elif topology == "grid":
+            place_grid(self.nodes, self.config.spacing)
+        elif topology == "random":
+            place_random(self.nodes, self.sim, *self.config.area)
+        else:
+            raise ConfigError(f"unknown topology {topology!r}")
+
+    # -- lifecycle ------------------------------------------------------------------
+    def start(self) -> "ManetScenario":
+        if self._started:
+            return self
+        self._started = True
+        for stack in self.stacks:
+            stack.start()
+        if self.mobility is not None:
+            self.mobility.start()
+        return self
+
+    def stop(self) -> None:
+        if not self._started:
+            return
+        self._started = False
+        if self.mobility is not None:
+            self.mobility.stop()
+        for stack in self.stacks:
+            stack.stop()
+
+    # -- convenience ------------------------------------------------------------------
+    def add_phone(
+        self,
+        node_index: int,
+        username: str,
+        domain: str = DEFAULT_DOMAIN,
+        account: SipAccount | None = None,
+        **kwargs,
+    ) -> SoftPhone:
+        phone = self.stacks[node_index].add_phone(
+            account=account, username=None if account else username, domain=domain, **kwargs
+        )
+        self.phones[username] = phone
+        return phone
+
+    def converge(self, duration: float | None = None) -> None:
+        """Run long enough for routing/registration state to settle."""
+        if duration is None:
+            duration = 12.0 if self.config.routing == "olsr" else 3.0
+        self.sim.run(self.sim.now + duration)
+
+    def call_and_wait(
+        self,
+        caller: str,
+        callee_aor: str,
+        duration: float = 10.0,
+        setup_timeout: float = 20.0,
+    ):
+        """Place a call and run until it finishes; returns the CallRecord."""
+        phone = self.phones[caller]
+        call = phone.place_call(callee_aor, duration=duration)
+        record = phone.history[-1]
+
+        def finished() -> bool:
+            return call.state in (CallState.TERMINATED, CallState.FAILED)
+
+        self.sim.run_until(finished, timeout=setup_timeout + duration + 10.0, step=0.25)
+        return record
+
+    def hop_count(self, from_index: int, to_index: int) -> int | None:
+        routing = self.stacks[from_index].routing
+        return routing.hop_count_to(self.nodes[to_index].ip)
+
+
+def build_chain_call_scenario(
+    hops: int,
+    routing: str = "aodv",
+    seed: int = 1,
+    loss_rate: float = 0.0,
+    **extra,
+) -> ManetScenario:
+    """A chain of ``hops + 1`` nodes with alice at one end, bob at the other."""
+    scenario = ManetScenario(
+        ManetConfig(
+            n_nodes=hops + 1,
+            topology="chain",
+            routing=routing,
+            seed=seed,
+            loss_rate=loss_rate,
+            **extra,
+        )
+    )
+    scenario.start()
+    scenario.add_phone(0, "alice")
+    scenario.add_phone(hops, "bob")
+    return scenario

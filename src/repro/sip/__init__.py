@@ -1,0 +1,108 @@
+"""A from-scratch SIP stack (RFC 3261 subset) over the simulated network.
+
+Layers: URI/message grammar, SDP, UDP transport, transaction state machines
+with retransmission timers, dialogs, a UA core, a registrar, and a generic
+stateful proxy engine with pluggable routing — everything SIPHoc's
+components and the Internet providers are built from.
+"""
+
+from repro.sip.auth import (
+    Credentials,
+    DigestAuthenticator,
+    digest_response,
+    make_authorization,
+    make_challenge,
+    parse_auth_params,
+)
+from repro.sip.dialog import Dialog, DialogKey, new_call_id, new_tag
+from repro.sip.message import (
+    CSeq,
+    Headers,
+    SipMessage,
+    SipRequest,
+    SipResponse,
+    Via,
+    parse_message,
+)
+from repro.sip.pidf import (
+    AVAILABLE,
+    OFFLINE,
+    ON_THE_PHONE,
+    PIDF_CONTENT_TYPE,
+    PresenceStatus,
+    build_pidf,
+    parse_pidf,
+)
+from repro.sip.proxy import ProxyCore, ProxyLeg, RouteFn, RoutingContext
+from repro.sip.registrar import Binding, LocationService, Registrar
+from repro.sip.sdp import (
+    MediaDescription,
+    SessionDescription,
+    parse_sdp,
+)
+from repro.sip.transaction import (
+    ClientTransaction,
+    ServerTransaction,
+    TransactionLayer,
+)
+from repro.sip.transport import Address, SipTransport, new_branch
+from repro.sip.ua import (
+    Call,
+    CallState,
+    IncomingCall,
+    OutgoingCall,
+    Subscription,
+    UserAgent,
+)
+from repro.sip.uri import NameAddr, SipUri
+
+__all__ = [
+    "AVAILABLE",
+    "Address",
+    "Binding",
+    "CSeq",
+    "Call",
+    "CallState",
+    "ClientTransaction",
+    "Credentials",
+    "Dialog",
+    "DigestAuthenticator",
+    "DialogKey",
+    "Headers",
+    "IncomingCall",
+    "LocationService",
+    "MediaDescription",
+    "NameAddr",
+    "OFFLINE",
+    "ON_THE_PHONE",
+    "OutgoingCall",
+    "PIDF_CONTENT_TYPE",
+    "PresenceStatus",
+    "ProxyCore",
+    "ProxyLeg",
+    "Registrar",
+    "RouteFn",
+    "RoutingContext",
+    "ServerTransaction",
+    "SessionDescription",
+    "SipMessage",
+    "SipRequest",
+    "SipResponse",
+    "SipTransport",
+    "SipUri",
+    "Subscription",
+    "TransactionLayer",
+    "UserAgent",
+    "Via",
+    "build_pidf",
+    "digest_response",
+    "make_authorization",
+    "make_challenge",
+    "new_branch",
+    "new_call_id",
+    "new_tag",
+    "parse_auth_params",
+    "parse_message",
+    "parse_pidf",
+    "parse_sdp",
+]

@@ -1,0 +1,94 @@
+"""PIDF presence documents (RFC 3863 subset).
+
+SIP presence (SUBSCRIBE/NOTIFY with ``Event: presence``) carries an XML
+Presence Information Data Format body. We build and parse the minimal
+profile: one tuple with a basic open/closed status and an optional note.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import SipParseError
+
+PIDF_CONTENT_TYPE = "application/pidf+xml"
+
+
+@dataclass(frozen=True)
+class PresenceStatus:
+    """A presentity's state: basic open/closed plus a human-readable note."""
+
+    basic: str = "open"  # "open" | "closed"
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if self.basic not in ("open", "closed"):
+            raise SipParseError(f"invalid basic presence status {self.basic!r}")
+
+    @property
+    def available(self) -> bool:
+        return self.basic == "open"
+
+
+OFFLINE = PresenceStatus(basic="closed")
+AVAILABLE = PresenceStatus(basic="open")
+ON_THE_PHONE = PresenceStatus(basic="open", note="on the phone")
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def _unescape(text: str) -> str:
+    return (
+        text.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", '"')
+        .replace("&amp;", "&")
+    )
+
+
+def build_pidf(entity: str, status: PresenceStatus) -> bytes:
+    """Serialize a presence document for ``entity`` (a SIP AOR)."""
+    note = f"<note>{_escape(status.note)}</note>" if status.note else ""
+    document = (
+        '<?xml version="1.0" encoding="UTF-8"?>'
+        f'<presence xmlns="urn:ietf:params:xml:ns:pidf" entity="{_escape(entity)}">'
+        '<tuple id="t1">'
+        f"<status><basic>{status.basic}</basic></status>"
+        f"{note}"
+        "</tuple>"
+        "</presence>"
+    )
+    return document.encode("utf-8")
+
+
+_ENTITY_RE = re.compile(r'<presence[^>]*\sentity="([^"]*)"')
+_BASIC_RE = re.compile(r"<basic>\s*(open|closed)\s*</basic>")
+_NOTE_RE = re.compile(r"<note>(.*?)</note>", re.DOTALL)
+
+
+def parse_pidf(body: bytes) -> tuple[str, PresenceStatus]:
+    """Parse a presence document into (entity, status)."""
+    try:
+        text = body.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise SipParseError("PIDF body is not valid UTF-8") from exc
+    entity_match = _ENTITY_RE.search(text)
+    basic_match = _BASIC_RE.search(text)
+    if entity_match is None or basic_match is None:
+        raise SipParseError("malformed PIDF document")
+    note_match = _NOTE_RE.search(text)
+    return (
+        _unescape(entity_match.group(1)),
+        PresenceStatus(
+            basic=basic_match.group(1),
+            note=_unescape(note_match.group(1)) if note_match else "",
+        ),
+    )

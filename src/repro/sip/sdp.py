@@ -1,0 +1,296 @@
+"""SDP — Session Description Protocol (RFC 4566 subset).
+
+VoIP applications exchange SDP offers/answers inside INVITE/200 bodies to
+negotiate the RTP endpoint (connection address + media port) and codec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SipParseError
+
+CRLF = "\r\n"
+
+#: Static RTP/AVP payload types we understand (payload type -> rtpmap).
+WELL_KNOWN_PAYLOADS = {
+    0: "PCMU/8000",
+    8: "PCMA/8000",
+    18: "G729/8000",
+    34: "H263/90000",
+}
+
+
+@dataclass
+class MediaDescription:
+    """One m= line with its attributes."""
+
+    media: str
+    port: int
+    protocol: str = "RTP/AVP"
+    payload_types: list[int] = field(default_factory=lambda: [0])
+    attributes: list[str] = field(default_factory=list)
+
+    def direction(self) -> str:
+        """Media direction: sendrecv (default), sendonly, recvonly, inactive."""
+        for attribute in self.attributes:
+            if attribute in ("sendrecv", "sendonly", "recvonly", "inactive"):
+                return attribute
+        return "sendrecv"
+
+    def rtpmaps(self) -> dict[int, str]:
+        maps = {}
+        for attribute in self.attributes:
+            if attribute.startswith("rtpmap:"):
+                try:
+                    payload_text, encoding = attribute[len("rtpmap:") :].split(None, 1)
+                    maps[int(payload_text)] = encoding.strip()
+                except ValueError:
+                    continue
+        for payload in self.payload_types:
+            maps.setdefault(payload, WELL_KNOWN_PAYLOADS.get(payload, "unknown"))
+        return maps
+
+
+@dataclass
+class SessionDescription:
+    """A parsed SDP body."""
+
+    origin_address: str
+    connection_address: str
+    session_name: str = "-"
+    session_id: int = 0
+    session_version: int = 0
+    media: list[MediaDescription] = field(default_factory=list)
+
+    @classmethod
+    def offer(
+        cls,
+        address: str,
+        audio_port: int,
+        payload_types: list[int] | None = None,
+        session_id: int = 1,
+        video_port: int | None = None,
+        video_payloads: list[int] | None = None,
+    ) -> "SessionDescription":
+        """Build an offer for ``address``: audio, plus video when asked."""
+        payloads = payload_types if payload_types is not None else [0]
+        media = [
+            MediaDescription(
+                media="audio",
+                port=audio_port,
+                payload_types=payloads,
+                attributes=[
+                    f"rtpmap:{pt} {WELL_KNOWN_PAYLOADS.get(pt, 'unknown')}"
+                    for pt in payloads
+                ],
+            )
+        ]
+        if video_port is not None:
+            vpayloads = video_payloads if video_payloads is not None else [34]
+            media.append(
+                MediaDescription(
+                    media="video",
+                    port=video_port,
+                    payload_types=vpayloads,
+                    attributes=[
+                        f"rtpmap:{pt} {WELL_KNOWN_PAYLOADS.get(pt, 'unknown')}"
+                        for pt in vpayloads
+                    ],
+                )
+            )
+        return cls(
+            origin_address=address,
+            connection_address=address,
+            session_id=session_id,
+            session_version=session_id,
+            media=media,
+        )
+
+    def answer(
+        self, address: str, audio_port: int, video_port: int | None = None
+    ) -> "SessionDescription":
+        """Answer this offer per RFC 3264: every offered stream appears in
+        the answer, with port 0 for streams we decline (e.g. video when the
+        answering phone has no camera)."""
+        if not self.media:
+            raise SipParseError("cannot answer an SDP offer without media")
+        media = []
+        for offered in self.media:
+            chosen = offered.payload_types[:1] or [0]
+            if offered.media == "audio":
+                port = audio_port
+            elif offered.media == "video":
+                port = video_port if video_port is not None else 0
+            else:
+                port = 0  # unsupported stream kind: rejected
+            attributes = (
+                [
+                    f"rtpmap:{pt} {WELL_KNOWN_PAYLOADS.get(pt, 'unknown')}"
+                    for pt in chosen
+                ]
+                if port > 0
+                else []
+            )
+            media.append(
+                MediaDescription(
+                    media=offered.media,
+                    port=port,
+                    protocol=offered.protocol,
+                    payload_types=chosen,
+                    attributes=attributes,
+                )
+            )
+        return SessionDescription(
+            origin_address=address,
+            connection_address=address,
+            session_id=self.session_id + 1,
+            session_version=self.session_id + 1,
+            media=media,
+        )
+
+    @property
+    def audio(self) -> MediaDescription | None:
+        for media in self.media:
+            if media.media == "audio":
+                return media
+        return None
+
+    @property
+    def video(self) -> MediaDescription | None:
+        for media in self.media:
+            if media.media == "video" and media.port > 0:
+                return media
+        return None
+
+    @property
+    def video_endpoint(self) -> tuple[str, int] | None:
+        video = self.video
+        if video is None:
+            return None
+        return (self.connection_address, video.port)
+
+    @property
+    def direction(self) -> str:
+        audio = self.audio
+        return audio.direction() if audio is not None else "sendrecv"
+
+    def with_direction(self, direction: str) -> "SessionDescription":
+        """A copy with the audio stream's direction attribute replaced."""
+        if direction not in ("sendrecv", "sendonly", "recvonly", "inactive"):
+            raise SipParseError(f"invalid media direction {direction!r}")
+        media = []
+        for description in self.media:
+            attributes = [
+                a
+                for a in description.attributes
+                if a not in ("sendrecv", "sendonly", "recvonly", "inactive")
+            ]
+            if description.media == "audio":
+                attributes.append(direction)
+            media.append(
+                MediaDescription(
+                    media=description.media,
+                    port=description.port,
+                    protocol=description.protocol,
+                    payload_types=list(description.payload_types),
+                    attributes=attributes,
+                )
+            )
+        return SessionDescription(
+            origin_address=self.origin_address,
+            connection_address=self.connection_address,
+            session_name=self.session_name,
+            session_id=self.session_id,
+            session_version=self.session_version + 1,
+            media=media,
+        )
+
+    @property
+    def rtp_endpoint(self) -> tuple[str, int] | None:
+        """The (address, port) the peer wants RTP sent to."""
+        audio = self.audio
+        if audio is None:
+            return None
+        return (self.connection_address, audio.port)
+
+    def serialize(self) -> bytes:
+        lines = [
+            "v=0",
+            f"o=- {self.session_id} {self.session_version} IN IP4 {self.origin_address}",
+            f"s={self.session_name}",
+            f"c=IN IP4 {self.connection_address}",
+            "t=0 0",
+        ]
+        for media in self.media:
+            payloads = " ".join(str(pt) for pt in media.payload_types)
+            lines.append(f"m={media.media} {media.port} {media.protocol} {payloads}")
+            lines.extend(f"a={attribute}" for attribute in media.attributes)
+        return (CRLF.join(lines) + CRLF).encode("utf-8")
+
+    def __bytes__(self) -> bytes:
+        return self.serialize()
+
+
+def parse_sdp(data: bytes) -> SessionDescription:
+    """Parse an SDP body. Raises :class:`SipParseError` on malformed input."""
+    try:
+        text = data.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise SipParseError("SDP body is not valid UTF-8") from exc
+    origin_address = ""
+    connection_address = ""
+    session_name = "-"
+    session_id = 0
+    session_version = 0
+    media: list[MediaDescription] = []
+    for raw_line in text.replace("\r\n", "\n").split("\n"):
+        line = raw_line.strip()
+        if not line:
+            continue
+        if len(line) < 2 or line[1] != "=":
+            raise SipParseError(f"malformed SDP line: {line!r}")
+        kind, value = line[0], line[2:]
+        if kind == "o":
+            parts = value.split()
+            if len(parts) >= 6:
+                try:
+                    session_id = int(parts[1])
+                    session_version = int(parts[2])
+                except ValueError:
+                    pass
+                origin_address = parts[5]
+        elif kind == "s":
+            session_name = value
+        elif kind == "c":
+            parts = value.split()
+            if len(parts) == 3:
+                connection_address = parts[2]
+        elif kind == "m":
+            parts = value.split()
+            if len(parts) < 4:
+                raise SipParseError(f"malformed media line: {line!r}")
+            try:
+                port = int(parts[1])
+                payloads = [int(pt) for pt in parts[3:]]
+            except ValueError as exc:
+                raise SipParseError(f"malformed media line: {line!r}") from exc
+            media.append(
+                MediaDescription(
+                    media=parts[0], port=port, protocol=parts[2], payload_types=payloads
+                )
+            )
+        elif kind == "a" and media:
+            media[-1].attributes.append(value)
+    if not connection_address:
+        connection_address = origin_address
+    if not connection_address:
+        raise SipParseError("SDP has no connection address")
+    return SessionDescription(
+        origin_address=origin_address or connection_address,
+        connection_address=connection_address,
+        session_name=session_name,
+        session_id=session_id,
+        session_version=session_version,
+        media=media,
+    )

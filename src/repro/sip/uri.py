@@ -1,0 +1,168 @@
+"""SIP URIs (RFC 3261 section 19.1, practical subset).
+
+Supports ``sip:user@host:port;param=value;lr`` forms plus name-addr
+(``"Display" <sip:...>;tag=x``) used by From/To/Contact/Route headers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import SipParseError
+
+
+@dataclass(frozen=True)
+class SipUri:
+    """A parsed SIP URI."""
+
+    user: str | None
+    host: str
+    port: int | None = None
+    params: tuple[tuple[str, str | None], ...] = ()
+    scheme: str = "sip"
+
+    @classmethod
+    def parse(cls, text: str) -> "SipUri":
+        text = text.strip()
+        if ":" not in text:
+            raise SipParseError(f"not a SIP URI (no scheme): {text!r}")
+        scheme, rest = text.split(":", 1)
+        scheme = scheme.lower()
+        if scheme not in ("sip", "sips"):
+            raise SipParseError(f"unsupported URI scheme {scheme!r}")
+        params: list[tuple[str, str | None]] = []
+        if ";" in rest:
+            rest, param_text = rest.split(";", 1)
+            for chunk in param_text.split(";"):
+                if not chunk:
+                    continue
+                if "=" in chunk:
+                    key, value = chunk.split("=", 1)
+                    params.append((key.lower(), value))
+                else:
+                    params.append((chunk.lower(), None))
+        user: str | None = None
+        if "@" in rest:
+            user, hostport = rest.rsplit("@", 1)
+            if not user:
+                raise SipParseError(f"empty user part in URI: {text!r}")
+        else:
+            hostport = rest
+        port: int | None = None
+        if ":" in hostport:
+            host, port_text = hostport.rsplit(":", 1)
+            try:
+                port = int(port_text)
+            except ValueError as exc:
+                raise SipParseError(f"invalid port in URI: {text!r}") from exc
+            if not 0 < port < 65536:
+                raise SipParseError(f"port out of range in URI: {text!r}")
+        else:
+            host = hostport
+        if not host:
+            raise SipParseError(f"empty host in URI: {text!r}")
+        return cls(user=user, host=host.lower(), port=port, params=tuple(params), scheme=scheme)
+
+    def __str__(self) -> str:
+        out = f"{self.scheme}:"
+        if self.user:
+            out += f"{self.user}@"
+        out += self.host
+        if self.port is not None:
+            out += f":{self.port}"
+        for key, value in self.params:
+            out += f";{key}" if value is None else f";{key}={value}"
+        return out
+
+    # -- convenience -----------------------------------------------------------
+    @property
+    def address_of_record(self) -> str:
+        """The bare ``sip:user@host`` form used as a registration key."""
+        user_part = f"{self.user}@" if self.user else ""
+        return f"{self.scheme}:{user_part}{self.host}"
+
+    def param(self, name: str) -> str | None:
+        for key, value in self.params:
+            if key == name.lower():
+                return value if value is not None else ""
+        return None
+
+    def has_param(self, name: str) -> bool:
+        return any(key == name.lower() for key, value in self.params)
+
+    def with_param(self, name: str, value: str | None = None) -> "SipUri":
+        remaining = tuple((k, v) for k, v in self.params if k != name.lower())
+        return replace(self, params=remaining + ((name.lower(), value),))
+
+    def without_params(self) -> "SipUri":
+        return replace(self, params=())
+
+    def effective_port(self, default: int = 5060) -> int:
+        return self.port if self.port is not None else default
+
+
+@dataclass
+class NameAddr:
+    """name-addr form: optional display name, URI, and header parameters.
+
+    Used for From/To/Contact/Route/Record-Route header values like
+    ``"Alice" <sip:alice@voicehoc.ch>;tag=8f2a``.
+    """
+
+    uri: SipUri
+    display_name: str | None = None
+    params: dict[str, str | None] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, text: str) -> "NameAddr":
+        text = text.strip()
+        display_name: str | None = None
+        params: dict[str, str | None] = {}
+        if "<" in text:
+            before, _, rest = text.partition("<")
+            uri_text, _, after = rest.partition(">")
+            display_name = before.strip().strip('"') or None
+            for chunk in after.split(";"):
+                chunk = chunk.strip()
+                if not chunk:
+                    continue
+                if "=" in chunk:
+                    key, value = chunk.split("=", 1)
+                    params[key.lower()] = value
+                else:
+                    params[chunk.lower()] = None
+            uri = SipUri.parse(uri_text)
+        else:
+            # addr-spec form: any ;params belong to the header, not the URI.
+            if ";" in text:
+                uri_text, _, param_text = text.partition(";")
+                for chunk in param_text.split(";"):
+                    if not chunk:
+                        continue
+                    if "=" in chunk:
+                        key, value = chunk.split("=", 1)
+                        params[key.lower()] = value
+                    else:
+                        params[chunk.lower()] = None
+            else:
+                uri_text = text
+            uri = SipUri.parse(uri_text)
+        return cls(uri=uri, display_name=display_name, params=params)
+
+    def __str__(self) -> str:
+        if self.display_name:
+            out = f'"{self.display_name}" <{self.uri}>'
+        else:
+            out = f"<{self.uri}>"
+        for key, value in self.params.items():
+            out += f";{key}" if value is None else f";{key}={value}"
+        return out
+
+    @property
+    def tag(self) -> str | None:
+        return self.params.get("tag")
+
+    def with_tag(self, tag: str) -> "NameAddr":
+        new_params = dict(self.params)
+        new_params["tag"] = tag
+        return NameAddr(uri=self.uri, display_name=self.display_name, params=new_params)

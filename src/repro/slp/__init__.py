@@ -1,0 +1,60 @@
+"""Service Location Protocol: service model, wire codec, multicast agent.
+
+The binary message format here doubles as the payload of SIPHoc's routing
+piggyback extensions; the flooding :class:`SlpAgent` is the inefficient
+standard-SLP baseline the paper's approach replaces.
+"""
+
+from repro.slp.agent import SlpAgent
+from repro.slp.messages import (
+    FN_SRV_ACK,
+    FN_SRV_DEREG,
+    FN_SRV_REG,
+    FN_SRV_RPLY,
+    FN_SRV_RQST,
+    FUNCTION_NAMES,
+    SlpMessage,
+    SrvAck,
+    SrvDeReg,
+    SrvReg,
+    SrvRply,
+    SrvRqst,
+    UrlEntry,
+    decode_slp,
+    encode_slp,
+)
+from repro.slp.service import (
+    SERVICE_GATEWAY,
+    SERVICE_SIP_CONTACT,
+    ServiceEntry,
+    ServiceUrl,
+    evaluate_predicate,
+    format_attributes,
+    parse_attributes,
+)
+
+__all__ = [
+    "FN_SRV_ACK",
+    "FN_SRV_DEREG",
+    "FN_SRV_REG",
+    "FN_SRV_RPLY",
+    "FN_SRV_RQST",
+    "FUNCTION_NAMES",
+    "SERVICE_GATEWAY",
+    "SERVICE_SIP_CONTACT",
+    "ServiceEntry",
+    "ServiceUrl",
+    "SlpAgent",
+    "SlpMessage",
+    "SrvAck",
+    "SrvDeReg",
+    "SrvReg",
+    "SrvRply",
+    "SrvRqst",
+    "UrlEntry",
+    "decode_slp",
+    "encode_slp",
+    "evaluate_predicate",
+    "format_attributes",
+    "parse_attributes",
+]

@@ -1,0 +1,145 @@
+"""Unit tests for the packet dissectors and the wireshark-style renderer."""
+
+import pytest
+
+from repro.analyzer import (
+    dissect_frame,
+    dissect_packet,
+    render_capture,
+    render_frame,
+)
+from repro.core import advert_extension, encode_inner_packet
+from repro.netsim import CapturedFrame, Datagram, Packet
+from repro.routing import Rrep, Rreq, encode_aodv, encode_olsr_packet, OlsrMessage, OLSR_SLP
+from repro.rtp import RtpPacket
+from repro.sip import Headers, SipRequest
+from repro.slp import SrvReg, UrlEntry, encode_slp
+
+
+def frame_for(packet, time=1.0):
+    return CapturedFrame(
+        time=time, sender_ip=packet.src, receiver_ip="*", packet=packet, delivered=True
+    )
+
+
+def make_packet(sport, dport, data, src="192.168.0.1", dst="192.168.0.2"):
+    return Packet(src, dst, Datagram(sport, dport, data))
+
+
+class TestAodvDissection:
+    def test_rreq_fields(self):
+        rreq = Rreq(rreq_id=5, dest_ip="192.168.0.9", dest_seq=1,
+                    orig_ip="192.168.0.1", orig_seq=2, hop_count=3)
+        packet = make_packet(654, 654, encode_aodv(rreq))
+        dissection = dissect_packet(packet)
+        layer = dissection.find("Ad hoc On-demand")
+        assert layer is not None
+        fields = dict(layer.fields)
+        assert fields["Type"] == "Route Request (RREQ)"
+        assert fields["Hop Count"] == "3"
+        assert fields["Destination IP"] == "192.168.0.9"
+
+    def test_figure5_rrep_with_sip_contact(self):
+        """The headline dissection: RREP + piggybacked SIP contact info."""
+        reg = SrvReg(
+            xid=1,
+            entry=UrlEntry(
+                url="service:siphoc-sip://192.168.0.5:5060",
+                lifetime=120,
+                attributes="(user=sip:bob@voicehoc.ch)",
+            ),
+        )
+        rrep = Rrep(dest_ip="192.168.0.5", dest_seq=2, orig_ip="192.168.0.1",
+                    lifetime_ms=60000, hop_count=0)
+        packet = make_packet(654, 654, encode_aodv(rrep, [advert_extension(reg)]))
+        text = render_frame(frame_for(packet), number=12)
+        assert "Route Reply (RREP)" in text
+        assert "SIPHoc Extension" in text
+        assert "service:siphoc-sip://192.168.0.5:5060" in text
+        assert "sip:bob@voicehoc.ch" in text
+
+
+class TestOlsrDissection:
+    def test_packet_with_slp_message(self):
+        reg = SrvReg(xid=2, entry=UrlEntry(url="service:siphoc-sip://192.168.0.3:5060",
+                                           lifetime=60, attributes=""))
+        message = OlsrMessage(msg_type=OLSR_SLP, orig_ip="192.168.0.3", seq=7,
+                              body=encode_slp(reg))
+        packet = make_packet(698, 698, encode_olsr_packet(1, [message]))
+        text = render_frame(frame_for(packet))
+        assert "Optimized Link State Routing" in text
+        assert "SIPHoc SLP (130)" in text
+        assert "service:siphoc-sip://192.168.0.3:5060" in text
+
+
+class TestSipDissection:
+    def test_invite(self):
+        headers = Headers()
+        headers.add("Via", "SIP/2.0/UDP 192.168.0.1:5070;branch=z9hG4bK-1")
+        headers.add("From", "<sip:alice@voicehoc.ch>;tag=a")
+        headers.add("To", "<sip:bob@voicehoc.ch>")
+        headers.add("Call-ID", "cid")
+        headers.add("CSeq", "1 INVITE")
+        request = SipRequest("INVITE", "sip:bob@voicehoc.ch", headers=headers)
+        packet = make_packet(5070, 5060, request.serialize())
+        text = render_frame(frame_for(packet))
+        assert "Session Initiation Protocol: INVITE sip:bob@voicehoc.ch" in text
+        assert "Call-ID: cid" in text
+
+
+class TestRtpDissection:
+    def test_rtp_fields(self):
+        rtp = RtpPacket(payload_type=0, sequence=42, timestamp=8000, ssrc=0xABCD,
+                        payload=b"\x00" * 160)
+        packet = make_packet(16384, 16384, rtp.encode())
+        text = render_frame(frame_for(packet))
+        assert "Real-Time Transport Protocol" in text
+        assert "Sequence: 42" in text
+
+
+class TestTunnelDissection:
+    def test_recursive_inner_dissection(self):
+        inner = make_packet(5060, 5060, b"OPTIONS sip:x SIP/2.0\r\n\r\n",
+                            src="10.0.0.7", dst="10.0.0.2")
+        packet = make_packet(5062, 5062, encode_inner_packet(inner))
+        text = render_frame(frame_for(packet))
+        assert "SIPHoc Layer-2 Tunnel" in text
+        assert "Src: 10.0.0.7" in text
+        assert "Session Initiation Protocol" in text
+
+
+class TestFallbacks:
+    def test_undecodable_payload_is_data(self):
+        packet = make_packet(654, 654, b"\xff\xff\xff")
+        text = render_frame(frame_for(packet))
+        assert "Data" in text
+
+    def test_unknown_port_is_data(self):
+        packet = make_packet(40000, 40001, b"mystery")
+        text = render_frame(frame_for(packet))
+        assert "Data" in text
+
+
+class TestCaptureList:
+    def test_summary_rows(self):
+        rreq = Rreq(rreq_id=1, dest_ip="192.168.0.9", dest_seq=0,
+                    orig_ip="192.168.0.1", orig_seq=1)
+        frames = [
+            frame_for(make_packet(654, 654, encode_aodv(rreq)), time=0.5),
+            frame_for(make_packet(16384, 16384, RtpPacket(0, 7, 0, 1, b"\x00" * 160).encode()), time=0.6),
+        ]
+        listing = render_capture(frames)
+        lines = listing.splitlines()
+        assert len(lines) == 3  # header + 2 rows
+        assert "AODV" in lines[1]
+        assert "RTP" in lines[2]
+
+    def test_predicate_filter(self):
+        rreq = Rreq(rreq_id=1, dest_ip="192.168.0.9", dest_seq=0,
+                    orig_ip="192.168.0.1", orig_seq=1)
+        frames = [
+            frame_for(make_packet(654, 654, encode_aodv(rreq))),
+            frame_for(make_packet(40000, 40001, b"x")),
+        ]
+        listing = render_capture(frames, predicate=lambda f: f.packet.dport == 654)
+        assert len(listing.splitlines()) == 2

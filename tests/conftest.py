@@ -1,0 +1,66 @@
+"""Shared fixtures: small prebuilt networks used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim import (
+    Node,
+    Simulator,
+    StaticRouter,
+    Stats,
+    WirelessMedium,
+    manet_ip,
+    place_chain,
+)
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator(seed=1234)
+
+
+@pytest.fixture
+def stats() -> Stats:
+    return Stats()
+
+
+@pytest.fixture
+def medium(sim: Simulator, stats: Stats) -> WirelessMedium:
+    return WirelessMedium(sim, stats=stats, tx_range=150.0)
+
+
+def make_chain(
+    sim: Simulator,
+    medium: WirelessMedium,
+    count: int,
+    spacing: float = 100.0,
+    static_routes: bool = False,
+) -> list[Node]:
+    """``count`` nodes in a chain; optionally with full static routing."""
+    nodes = []
+    for index in range(count):
+        node = Node(sim, index, manet_ip(index), stats=medium.stats)
+        node.join_medium(medium)
+        nodes.append(node)
+    place_chain(nodes, spacing)
+    if static_routes:
+        for i, node in enumerate(nodes):
+            router = StaticRouter(node)
+            node.set_router(router)
+            for j, other in enumerate(nodes):
+                if i == j:
+                    continue
+                next_index = i + 1 if j > i else i - 1
+                router.add_route(other.ip, nodes[next_index].ip)
+    return nodes
+
+
+@pytest.fixture
+def chain3(sim: Simulator, medium: WirelessMedium) -> list[Node]:
+    return make_chain(sim, medium, 3, static_routes=True)
+
+
+@pytest.fixture
+def chain5(sim: Simulator, medium: WirelessMedium) -> list[Node]:
+    return make_chain(sim, medium, 5, static_routes=True)

@@ -1,0 +1,134 @@
+"""Behavioural tests for Gateway Provider and Connection Provider."""
+
+import pytest
+
+from repro.core import (
+    ConnectionProvider,
+    GatewayProvider,
+    ManetSlp,
+    make_handler,
+)
+from repro.errors import GatewayError
+from repro.netsim import (
+    InternetCloud,
+    Node,
+    Simulator,
+    Stats,
+    WirelessMedium,
+    manet_ip,
+    place_chain,
+)
+from repro.routing import Aodv
+from repro.slp.service import SERVICE_GATEWAY
+
+
+def build(n=3, seed=41, gateway_index=None):
+    sim = Simulator(seed=seed)
+    stats = Stats()
+    medium = WirelessMedium(sim, stats=stats, tx_range=150.0)
+    cloud = InternetCloud(sim, stats=stats)
+    nodes, slps = [], []
+    for index in range(n):
+        node = Node(sim, index, manet_ip(index), stats=stats)
+        node.join_medium(medium)
+        daemon = Aodv(node)
+        daemon.start()
+        slps.append(ManetSlp(node, make_handler(daemon)).start())
+        nodes.append(node)
+    place_chain(nodes, 100.0)
+    gateway = None
+    if gateway_index is not None:
+        cloud.attach(nodes[gateway_index])
+        gateway = GatewayProvider(nodes[gateway_index], cloud, slps[gateway_index]).start()
+    return sim, stats, cloud, nodes, slps, gateway
+
+
+class TestGatewayProvider:
+    def test_requires_wired_attachment(self):
+        sim, stats, cloud, nodes, slps, _ = build(gateway_index=None)
+        provider = GatewayProvider(nodes[0], cloud, slps[0])
+        with pytest.raises(GatewayError):
+            provider.start()
+
+    def test_publishes_gateway_service(self):
+        sim, stats, cloud, nodes, slps, gateway = build(gateway_index=2)
+        local = slps[2].local_services()
+        assert any(e.url.service_type == SERVICE_GATEWAY for e in local)
+        assert gateway.running
+
+    def test_stop_withdraws_service(self):
+        sim, stats, cloud, nodes, slps, gateway = build(gateway_index=2)
+        gateway.stop()
+        assert not gateway.running
+        assert not any(
+            e.url.service_type == SERVICE_GATEWAY for e in slps[2].local_services()
+        )
+
+    def test_start_twice_is_idempotent(self):
+        sim, stats, cloud, nodes, slps, gateway = build(gateway_index=2)
+        gateway.start()
+        assert len(slps[2].local_services()) == 1
+
+
+class TestConnectionProvider:
+    def test_discovers_gateway_and_connects(self):
+        sim, stats, cloud, nodes, slps, gateway = build(gateway_index=2)
+        connected = []
+        provider = ConnectionProvider(nodes[0], slps[0], poll_interval=2.0)
+        provider.on_connected = connected.append
+        provider.start()
+        sim.run(20.0)
+        assert provider.connected
+        assert connected and connected[0] == provider.tunnel_ip
+        assert nodes[0].has_default_route()
+
+    def test_no_gateway_means_no_connection(self):
+        sim, stats, cloud, nodes, slps, _ = build(gateway_index=None)
+        provider = ConnectionProvider(nodes[0], slps[0], poll_interval=2.0).start()
+        sim.run(20.0)
+        assert not provider.connected
+
+    def test_gateway_node_itself_does_not_tunnel(self):
+        sim, stats, cloud, nodes, slps, gateway = build(gateway_index=2)
+        provider = ConnectionProvider(nodes[2], slps[2], poll_interval=2.0).start()
+        sim.run(20.0)
+        assert not provider.connected  # it already has wired connectivity
+
+    def test_dead_gateway_detected_and_reconnect_possible(self):
+        sim, stats, cloud, nodes, slps, gateway = build(gateway_index=2)
+        disconnects = []
+        provider = ConnectionProvider(nodes[0], slps[0], poll_interval=2.0)
+        provider.on_disconnected = lambda: disconnects.append(sim.now)
+        provider.start()
+        sim.run(15.0)
+        assert provider.connected
+        nodes[2].up = False  # gateway crashes
+        sim.run(15.0 + 3 * 25.0)
+        assert not provider.connected
+        assert disconnects
+
+    def test_stop_tears_down_tunnel(self):
+        sim, stats, cloud, nodes, slps, gateway = build(gateway_index=2)
+        provider = ConnectionProvider(nodes[0], slps[0], poll_interval=2.0).start()
+        sim.run(15.0)
+        assert provider.connected
+        provider.stop()
+        sim.run(17.0)
+        assert not provider.connected
+        assert "tunnel" not in nodes[0].default_route_names()
+
+    def test_prefers_closer_gateway(self):
+        sim, stats, cloud, nodes, slps, _ = build(n=4, gateway_index=None)
+        # Two gateways: node 1 (1 hop from node 0) and node 3 (3 hops).
+        cloud.attach(nodes[1])
+        cloud.attach(nodes[3])
+        GatewayProvider(nodes[1], cloud, slps[1]).start()
+        GatewayProvider(nodes[3], cloud, slps[3]).start()
+        # Prime a route toward both so hop counts are known.
+        nodes[0].router.discover(nodes[1].ip)
+        nodes[0].router.discover(nodes[3].ip)
+        sim.run(3.0)
+        provider = ConnectionProvider(nodes[0], slps[0], poll_interval=2.0).start()
+        sim.run(20.0)
+        assert provider.connected
+        assert provider.tunnel.gateway_ip == nodes[1].ip

@@ -1,0 +1,184 @@
+"""Unit tests for the routing handler plugins and piggyback extensions."""
+
+import pytest
+
+from repro.core import (
+    EXT_SLP_ADVERT,
+    ManetSlp,
+    ManetSlpConfig,
+    advert_extension,
+    decode_extension,
+    is_slp_extension,
+    make_handler,
+    query_extension,
+    reply_extension,
+)
+from repro.core.handlers import AodvHandler, OlsrHandler
+from repro.netsim import (
+    Node,
+    PacketCapture,
+    Simulator,
+    Stats,
+    WirelessMedium,
+    manet_ip,
+    place_chain,
+)
+from repro.routing import (
+    OLSR_SLP,
+    Aodv,
+    Olsr,
+    decode_aodv,
+    decode_olsr_packet,
+)
+from repro.slp import SrvReg, SrvRply, SrvRqst, UrlEntry, decode_slp, encode_slp
+
+
+class TestExtensionCodec:
+    def test_advert_round_trip(self):
+        reg = SrvReg(xid=1, entry=UrlEntry(url="service:x://h:1", lifetime=60, attributes=""))
+        ext = advert_extension(reg)
+        assert ext.ext_type == EXT_SLP_ADVERT
+        assert is_slp_extension(ext)
+        assert decode_extension(ext) == reg
+
+    def test_query_and_reply(self):
+        query = SrvRqst(xid=2, service_type="t", predicate="", requester="1.2.3.4")
+        reply = SrvRply(xid=2, entries=[])
+        assert decode_extension(query_extension(query)) == query
+        assert decode_extension(reply_extension(reply)) == reply
+
+    def test_foreign_extension_returns_none(self):
+        from repro.routing import Extension
+
+        assert decode_extension(Extension(0x42, b"whatever")) is None
+        assert not is_slp_extension(Extension(0x42, b""))
+
+    def test_corrupt_body_returns_none(self):
+        from repro.routing import Extension
+
+        assert decode_extension(Extension(EXT_SLP_ADVERT, b"\x00\x01garbage")) is None
+
+
+def build(protocol, n=3, seed=31):
+    sim = Simulator(seed=seed)
+    stats = Stats()
+    medium = WirelessMedium(sim, stats=stats, tx_range=150.0)
+    nodes, daemons, slps = [], [], []
+    for index in range(n):
+        node = Node(sim, index, manet_ip(index), stats=stats)
+        node.join_medium(medium)
+        daemon = (Aodv if protocol == "aodv" else Olsr)(node)
+        daemon.start()
+        slps.append(ManetSlp(node, make_handler(daemon)).start())
+        nodes.append(node)
+        daemons.append(daemon)
+    place_chain(nodes, 100.0)
+    return sim, stats, medium, nodes, daemons, slps
+
+
+class TestMakeHandler:
+    def test_dispatch_by_daemon_type(self, sim):
+        stats = Stats()
+        medium = WirelessMedium(sim, stats=stats)
+        node = Node(sim, 0, manet_ip(0), stats=stats)
+        node.join_medium(medium)
+        assert isinstance(make_handler(Aodv(node)), AodvHandler)
+        node2 = Node(sim, 1, manet_ip(1), stats=stats)
+        node2.join_medium(medium)
+        assert isinstance(make_handler(Olsr(node2)), OlsrHandler)
+
+    def test_unknown_daemon_rejected(self):
+        with pytest.raises(TypeError):
+            make_handler(object())
+
+
+class TestAodvPiggybacking:
+    def test_adverts_attached_to_outgoing_rreqs(self):
+        sim, stats, medium, nodes, daemons, slps = build("aodv")
+        capture = PacketCapture(port_filter={Aodv.port})
+        medium.add_sniffer(capture.on_frame)
+        slps[0].register(f"service:siphoc-sip://{nodes[0].ip}:5060", {"user": "sip:a@h"})
+        daemons[0].discover(nodes[2].ip)  # emits an RREQ that carries the advert
+        sim.run(3.0)
+        carried = 0
+        for frame in capture.frames:
+            _, extensions = decode_aodv(frame.packet.data)
+            carried += sum(1 for ext in extensions if ext.ext_type == EXT_SLP_ADVERT)
+        assert carried >= 1
+
+    def test_piggyback_budget_respected(self):
+        config = ManetSlpConfig(piggyback_budget=2)
+        sim = Simulator(seed=5)
+        stats = Stats()
+        medium = WirelessMedium(sim, stats=stats, tx_range=150.0)
+        nodes = []
+        slps = []
+        daemons = []
+        for index in range(2):
+            node = Node(sim, index, manet_ip(index), stats=stats)
+            node.join_medium(medium)
+            daemon = Aodv(node)
+            daemon.start()
+            slps.append(ManetSlp(node, make_handler(daemon), config).start())
+            nodes.append(node)
+            daemons.append(daemon)
+        place_chain(nodes, 100.0)
+        capture = PacketCapture(port_filter={Aodv.port})
+        medium.add_sniffer(capture.on_frame)
+        for index in range(6):
+            slps[0].register(
+                f"service:siphoc-sip://{nodes[0].ip}:{5060 + index}", {"user": f"sip:u{index}@h"}
+            )
+        daemons[0].discover(nodes[1].ip)
+        sim.run(3.0)
+        for frame in capture.frames:
+            _, extensions = decode_aodv(frame.packet.data)
+            adverts = [e for e in extensions if e.ext_type == EXT_SLP_ADVERT]
+            assert len(adverts) <= 2
+
+    def test_duplicate_queries_answered_once(self):
+        sim, stats, medium, nodes, daemons, slps = build("aodv")
+        slps[2].register(f"service:siphoc-sip://{nodes[2].ip}:5060", {"user": "sip:bob@h"})
+        sim.run(0.2)
+        results = []
+        slps[0].find_services("siphoc-sip", "(user=sip:bob@h)", callback=results.append)
+        sim.run(5.0)
+        assert stats.count("manetslp.replies_sent") == 1
+
+    def test_advert_redundancy_consumed(self):
+        sim, stats, medium, nodes, daemons, slps = build("aodv", n=2)
+        handler = slps[0].handler
+        slps[0].register(f"service:siphoc-sip://{nodes[0].ip}:5060", {"user": "sip:a@h"})
+        assert handler.pending_count() == 1
+        # Default redundancy is 2: two carrier packets drain the queue.
+        daemons[0].discover(nodes[1].ip)
+        sim.run(1.0)
+        daemons[0].discover("192.168.0.77")
+        sim.run(8.0)
+        assert handler.pending_count() == 0
+
+
+class TestOlsrPiggybacking:
+    def test_adverts_ride_hello_packets_as_type_130(self):
+        sim, stats, medium, nodes, daemons, slps = build("olsr", n=2)
+        sim.run(10.0)
+        capture = PacketCapture(port_filter={Olsr.port})
+        medium.add_sniffer(capture.on_frame)
+        slps[0].register(f"service:siphoc-sip://{nodes[0].ip}:5060", {"user": "sip:a@h"})
+        sim.run(14.0)
+        slp_messages = []
+        for frame in capture.frames:
+            _, messages = decode_olsr_packet(frame.packet.data)
+            slp_messages.extend(m for m in messages if m.msg_type == OLSR_SLP)
+        assert slp_messages
+        decoded = decode_slp(slp_messages[0].body)
+        assert isinstance(decoded, SrvReg)
+
+    def test_handler_dedupes_flooded_copies(self):
+        sim, stats, medium, nodes, daemons, slps = build("olsr", n=3)
+        sim.run(12.0)
+        slps[0].register(f"service:siphoc-sip://{nodes[0].ip}:5060", {"user": "sip:a@h"})
+        sim.run(30.0)
+        # Entry learned despite many flooded copies; cache has exactly one.
+        hits = slps[2].lookup_cached("siphoc-sip", "(user=sip:a@h)")
+        assert len(hits) == 1

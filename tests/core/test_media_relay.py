@@ -1,0 +1,124 @@
+"""Tests for the boundary-crossing media relay (SDP rewriting + pumping)."""
+
+import pytest
+
+from repro.core import SipAccount, SiphocStack
+from repro.core.media_relay import MediaRelay
+from repro.netsim import (
+    InternetCloud,
+    Node,
+    Simulator,
+    Stats,
+    WirelessMedium,
+    manet_ip,
+    place_chain,
+)
+from repro.sip import SessionDescription, parse_sdp
+
+
+class TestSdpRewriting:
+    @pytest.fixture
+    def relay(self, sim):
+        stats = Stats()
+        medium = WirelessMedium(sim, stats=stats)
+        node = Node(sim, 0, manet_ip(0), stats=stats)
+        node.join_medium(medium)
+        return MediaRelay(node)
+
+    def test_offer_rewritten_to_b_side(self, relay):
+        offer = SessionDescription.offer("192.168.0.1", 16384).serialize()
+        rewritten = relay.rewrite_offer("cid-1", offer, "192.168.0.1", "10.0.0.9")
+        sdp = parse_sdp(rewritten)
+        assert sdp.connection_address == "10.0.0.9"
+        session = relay.session_for("cid-1")
+        assert session is not None
+        assert sdp.audio.port == session.b_port
+        assert session.a_remote == ("192.168.0.1", 16384)
+
+    def test_answer_rewritten_to_a_side(self, relay):
+        offer = SessionDescription.offer("192.168.0.1", 16384).serialize()
+        relay.rewrite_offer("cid-1", offer, "192.168.0.1", "10.0.0.9")
+        answer = SessionDescription.offer("10.0.0.3", 20000).serialize()
+        rewritten = relay.rewrite_answer("cid-1", answer)
+        sdp = parse_sdp(rewritten)
+        session = relay.session_for("cid-1")
+        assert sdp.connection_address == "192.168.0.1"
+        assert sdp.audio.port == session.a_port
+        assert session.b_remote == ("10.0.0.3", 20000)
+
+    def test_answer_without_session_passthrough(self, relay):
+        answer = SessionDescription.offer("10.0.0.3", 20000).serialize()
+        assert relay.rewrite_answer("unknown-cid", answer) == answer
+
+    def test_malformed_body_passthrough(self, relay):
+        assert relay.rewrite_offer("cid", b"not sdp at all", "a", "b") == b"not sdp at all"
+        assert relay.session_for("cid") is None
+
+    def test_codec_payloads_preserved(self, relay):
+        offer = SessionDescription.offer("192.168.0.1", 16384, payload_types=[18]).serialize()
+        rewritten = relay.rewrite_offer("cid-1", offer, "192.168.0.1", "10.0.0.9")
+        assert parse_sdp(rewritten).audio.payload_types == [18]
+
+    def test_close_session_releases_ports(self, relay):
+        offer = SessionDescription.offer("192.168.0.1", 16384).serialize()
+        relay.rewrite_offer("cid-1", offer, "192.168.0.1", "10.0.0.9")
+        assert relay.active_sessions == 1
+        relay.close_session("cid-1")
+        assert relay.active_sessions == 0
+
+    def test_same_call_id_reuses_session(self, relay):
+        offer = SessionDescription.offer("192.168.0.1", 16384).serialize()
+        relay.rewrite_offer("cid-1", offer, "192.168.0.1", "10.0.0.9")
+        relay.rewrite_offer("cid-1", offer, "192.168.0.1", "10.0.0.9")
+        assert relay.active_sessions == 1
+
+
+class TestEndToEndMedia:
+    def test_bidirectional_media_across_gateway(self):
+        sim = Simulator(seed=77)
+        stats = Stats()
+        medium = WirelessMedium(sim, stats=stats, tx_range=150.0)
+        cloud = InternetCloud(sim, stats=stats)
+        from repro.core import SipProvider
+
+        provider = SipProvider(cloud, "siphoc.ch")
+        nodes = []
+        for index in range(3):
+            node = Node(sim, index, manet_ip(index), stats=stats)
+            node.join_medium(medium)
+            nodes.append(node)
+        place_chain(nodes, 100.0)
+        cloud.attach(nodes[-1])
+        stacks = [SiphocStack(node, routing="aodv", cloud=cloud).start() for node in nodes]
+        carol = provider.create_softphone("carol")
+        alice = stacks[0].add_phone(account=SipAccount(username="alice", domain="siphoc.ch"))
+        sim.run(20.0)
+        alice.place_call("sip:carol@siphoc.ch", duration=8.0)
+        sim.run(60.0)
+        # BOTH directions measured: alice heard carol and vice versa.
+        for phone in (alice, carol):
+            record = phone.history[0]
+            assert record.established, phone.aor
+            assert record.quality is not None, f"{phone.aor} got no media"
+            assert record.quality.mos > 3.5
+        # The relay carried the stream.
+        assert stats.count("mediarelay.sessions_opened") >= 1
+
+    def test_in_manet_media_stays_direct(self):
+        sim = Simulator(seed=78)
+        stats = Stats()
+        medium = WirelessMedium(sim, stats=stats, tx_range=150.0)
+        nodes = []
+        for index in range(2):
+            node = Node(sim, index, manet_ip(index), stats=stats)
+            node.join_medium(medium)
+            nodes.append(node)
+        place_chain(nodes, 100.0)
+        stacks = [SiphocStack(node, routing="aodv").start() for node in nodes]
+        alice = stacks[0].add_phone(username="alice")
+        bob = stacks[1].add_phone(username="bob")
+        sim.run(2.0)
+        alice.place_call("sip:bob@voicehoc.ch", duration=3.0)
+        sim.run(15.0)
+        assert alice.history[0].established
+        assert stats.count("mediarelay.sessions_opened") == 0

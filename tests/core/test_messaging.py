@@ -1,0 +1,144 @@
+"""Instant messaging (SIP MESSAGE) through the SIPHoc infrastructure.
+
+The paper's intro: any handheld becomes "a wireless phone and text
+communicator simply by adding a small piece of software" — text rides the
+same proxy + MANET SLP path as calls.
+"""
+
+import pytest
+
+from repro.core import SipAccount, SiphocStack
+from repro.netsim import (
+    InternetCloud,
+    Node,
+    Simulator,
+    Stats,
+    WirelessMedium,
+    manet_ip,
+    place_chain,
+)
+
+
+def build(n=3, seed=81, gateway=False, providers=()):
+    sim = Simulator(seed=seed)
+    stats = Stats()
+    medium = WirelessMedium(sim, stats=stats, tx_range=150.0)
+    cloud = None
+    provider_objs = {}
+    if gateway or providers:
+        cloud = InternetCloud(sim, stats=stats)
+        from repro.core import SipProvider
+
+        for domain in providers:
+            provider_objs[domain] = SipProvider(cloud, domain)
+    nodes = []
+    for index in range(n):
+        node = Node(sim, index, manet_ip(index), stats=stats)
+        node.join_medium(medium)
+        nodes.append(node)
+    place_chain(nodes, 100.0)
+    if gateway:
+        cloud.attach(nodes[-1])
+    stacks = [SiphocStack(node, routing="aodv", cloud=cloud).start() for node in nodes]
+    return sim, stats, nodes, stacks, provider_objs
+
+
+class TestManetMessaging:
+    def test_text_delivered_across_manet(self):
+        sim, stats, nodes, stacks, _ = build()
+        alice = stacks[0].add_phone(username="alice")
+        bob = stacks[2].add_phone(username="bob")
+        sim.run(2.0)
+        results = []
+        alice.send_text("sip:bob@voicehoc.ch", "meet at the library?",
+                        on_result=lambda ok, status: results.append((ok, status)))
+        sim.run(10.0)
+        assert results == [(True, 200)]
+        assert len(bob.inbox) == 1
+        assert bob.inbox[0].text == "meet at the library?"
+        assert bob.inbox[0].peer == "sip:alice@voicehoc.ch"
+        assert alice.outbox[0].delivered is True
+
+    def test_text_to_unknown_user_fails_with_404(self):
+        sim, stats, nodes, stacks, _ = build()
+        alice = stacks[0].add_phone(username="alice")
+        sim.run(2.0)
+        results = []
+        alice.send_text("sip:ghost@voicehoc.ch", "anyone there?",
+                        on_result=lambda ok, status: results.append((ok, status)))
+        sim.run(15.0)
+        assert results == [(False, 404)]
+        assert alice.outbox[0].delivered is False
+
+    def test_reply_conversation(self):
+        sim, stats, nodes, stacks, _ = build()
+        alice = stacks[0].add_phone(username="alice")
+        bob = stacks[2].add_phone(username="bob")
+        bob.on_text = lambda message: bob.send_text(message.peer, f"re: {message.text}")
+        sim.run(2.0)
+        alice.send_text("sip:bob@voicehoc.ch", "ping")
+        sim.run(10.0)
+        assert len(alice.inbox) == 1
+        assert alice.inbox[0].text == "re: ping"
+
+    def test_unicode_payload(self):
+        sim, stats, nodes, stacks, _ = build()
+        alice = stacks[0].add_phone(username="alice")
+        bob = stacks[2].add_phone(username="bob")
+        sim.run(2.0)
+        alice.send_text("sip:bob@voicehoc.ch", "café 🚑 Zürich")
+        sim.run(10.0)
+        assert bob.inbox[0].text == "café 🚑 Zürich"
+
+
+class TestInternetMessaging:
+    def test_text_to_internet_user(self):
+        sim, stats, nodes, stacks, providers = build(gateway=True, providers=("siphoc.ch",))
+        carol = providers["siphoc.ch"].create_softphone("carol")
+        alice = stacks[0].add_phone(account=SipAccount(username="alice", domain="siphoc.ch"))
+        sim.run(20.0)
+        results = []
+        alice.send_text("sip:carol@siphoc.ch", "hello from the MANET",
+                        on_result=lambda ok, status: results.append(ok))
+        sim.run(40.0)
+        assert results == [True]
+        assert carol.inbox[0].text == "hello from the MANET"
+
+    def test_text_from_internet_user(self):
+        sim, stats, nodes, stacks, providers = build(gateway=True, providers=("siphoc.ch",))
+        carol = providers["siphoc.ch"].create_softphone("carol")
+        alice = stacks[0].add_phone(account=SipAccount(username="alice", domain="siphoc.ch"))
+        sim.run(20.0)
+        carol.send_text("sip:alice@siphoc.ch", "hello MANET user")
+        sim.run(40.0)
+        assert alice.inbox and alice.inbox[0].text == "hello MANET user"
+
+
+class TestRegistrationRefresh:
+    def test_binding_survives_past_expiry(self):
+        sim, stats, nodes, stacks, _ = build(n=2)
+        alice = stacks[0].add_phone(username="alice")
+        bob = stacks[1].add_phone(username="bob")
+        # Short registrations with automatic refresh.
+        for phone in (alice, bob):
+            phone._refresh_task.stop()
+            phone._refresh_task = None
+            phone.start(expires=20)
+        sim.run(50.0)  # well past two expiries
+        record = None
+        alice.place_call("sip:bob@voicehoc.ch", duration=2.0)
+        sim.run(65.0)
+        record = alice.history[-1]
+        assert record.established, "refreshed binding should keep bob callable"
+
+    def test_without_refresh_binding_expires(self):
+        sim, stats, nodes, stacks, _ = build(n=2)
+        bob = stacks[1].add_phone(username="bob", register=False)
+        bob.start(register=True, expires=10)
+        if bob._refresh_task is not None:
+            bob._refresh_task.stop()  # kill the keep-alive
+        alice = stacks[0].add_phone(username="alice")
+        sim.run(30.0)
+        # bob's local binding and advert have expired.
+        contacts = stacks[1].proxy.location.lookup("sip:bob@voicehoc.ch", sim.now)
+        assert contacts == []

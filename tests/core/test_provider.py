@@ -1,0 +1,119 @@
+"""Direct tests for the Internet SIP provider model."""
+
+import pytest
+
+from repro.core import SipProvider
+from repro.netsim import InternetCloud, Simulator, Stats
+from repro.sip import CallState
+
+
+@pytest.fixture
+def cloud(sim):
+    return InternetCloud(sim, stats=Stats())
+
+
+def auto_answer(sim):
+    def handler(call):
+        call.ring()
+        sim.schedule(0.2, call.answer)
+
+    return handler
+
+
+class TestPlainProvider:
+    def test_dns_registered(self, sim, cloud):
+        provider = SipProvider(cloud, "siphoc.ch")
+        assert cloud.dns.resolve("siphoc.ch") == provider.address
+
+    def test_subscriber_call_same_domain(self, sim, cloud):
+        provider = SipProvider(cloud, "siphoc.ch")
+        carol = provider.create_user("carol")
+        dave = provider.create_user("dave")
+        dave.on_invite = auto_answer(sim)
+        sim.run(1.0)  # registrations settle
+        call = carol.call("sip:dave@siphoc.ch")
+        sim.run(5.0)
+        assert call.state is CallState.ESTABLISHED
+        call.hangup()
+        sim.run(8.0)
+        assert call.state is CallState.TERMINATED
+
+    def test_federation_between_providers(self, sim, cloud):
+        a = SipProvider(cloud, "siphoc.ch")
+        b = SipProvider(cloud, "netvoip.ch")
+        carol = a.create_user("carol")
+        erik = b.create_user("erik")
+        erik.on_invite = auto_answer(sim)
+        sim.run(1.0)
+        call = carol.call("sip:erik@netvoip.ch")
+        sim.run(5.0)
+        assert call.state is CallState.ESTABLISHED
+
+    def test_unknown_domain_404(self, sim, cloud):
+        provider = SipProvider(cloud, "siphoc.ch")
+        carol = provider.create_user("carol")
+        call = carol.call("sip:nobody@nowhere.invalid")
+        sim.run(5.0)
+        assert call.state is CallState.FAILED
+        assert call.failure_status == 404
+
+    def test_unregistered_user_404(self, sim, cloud):
+        provider = SipProvider(cloud, "siphoc.ch")
+        carol = provider.create_user("carol")
+        call = carol.call("sip:ghost@siphoc.ch")
+        sim.run(5.0)
+        assert call.failure_status == 404
+
+
+class TestStrictProvider:
+    def test_sbc_registered_in_dns(self, sim, cloud):
+        provider = SipProvider(cloud, "polyphone.ethz.ch", requires_outbound_proxy=True)
+        assert provider.sbc_address is not None
+        assert cloud.dns.resolve("sbc.polyphone.ethz.ch") == provider.sbc_address
+
+    def test_subscribers_work_through_sbc(self, sim, cloud):
+        provider = SipProvider(cloud, "polyphone.ethz.ch", requires_outbound_proxy=True)
+        carol = provider.create_user("carol")  # outbound proxy = SBC
+        dave = provider.create_user("dave")
+        dave.on_invite = auto_answer(sim)
+        sim.run(2.0)
+        assert carol.registered and dave.registered
+        call = carol.call("sip:dave@polyphone.ethz.ch")
+        sim.run(8.0)
+        assert call.state is CallState.ESTABLISHED
+
+    def test_direct_access_rejected(self, sim, cloud):
+        provider = SipProvider(cloud, "polyphone.ethz.ch", requires_outbound_proxy=True)
+        from repro.netsim import make_internet_host
+        from repro.sip import UserAgent, SipUri
+
+        host = make_internet_host(sim, cloud, "direct.example")
+        ua = UserAgent(
+            host,
+            aor=SipUri(user="mallory", host="polyphone.ethz.ch"),
+            port=5060,
+            outbound_proxy=(provider.address, 5060),  # bypassing the SBC
+        )
+        results = []
+        ua.register(on_result=lambda ok, resp: results.append((ok, resp.status if resp else None)))
+        sim.run(3.0)
+        assert results == [(False, 403)]
+
+    def test_plain_provider_has_no_sbc(self, sim, cloud):
+        provider = SipProvider(cloud, "siphoc.ch")
+        assert provider.sbc_address is None
+
+
+class TestAuthenticatedProvider:
+    def test_softphone_autoprovisioned(self, sim, cloud):
+        provider = SipProvider(cloud, "secure.example", auth_required=True)
+        carol = provider.create_softphone("carol")
+        sim.run(3.0)
+        assert carol.registered
+        assert provider.auth.has_user("carol")
+
+    def test_add_subscriber_returns_credentials(self, sim, cloud):
+        provider = SipProvider(cloud, "secure.example", auth_required=True)
+        creds = provider.add_subscriber("erin", "pw")
+        assert creds.username == "erin"
+        assert provider.auth.has_user("erin")

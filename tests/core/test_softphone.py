@@ -1,0 +1,157 @@
+"""Behavioural tests for the softphone (Figure 2 contract, media, history)."""
+
+import pytest
+
+from repro.core import AnswerMode, SipAccount, SiphocStack
+from repro.errors import ConfigError
+from repro.netsim import Node, Simulator, Stats, WirelessMedium, manet_ip, place_chain
+from repro.rtp import G729
+from repro.sip import CallState
+
+
+def build(n=2, seed=61, **phone_kwargs):
+    sim = Simulator(seed=seed)
+    stats = Stats()
+    medium = WirelessMedium(sim, stats=stats, tx_range=150.0)
+    stacks = []
+    for index in range(n):
+        node = Node(sim, index, manet_ip(index), stats=stats)
+        node.join_medium(medium)
+        stacks.append(SiphocStack(node, routing="aodv").start())
+    place_chain([s.node for s in stacks], 100.0)
+    return sim, stats, stacks
+
+
+class TestConfiguration:
+    def test_figure2_account_defaults_to_localhost_proxy(self):
+        account = SipAccount(username="alice", domain="voicehoc.ch")
+        assert account.outbound_proxy == "localhost"
+        assert account.uses_local_proxy
+        assert str(account.aor) == "sip:alice@voicehoc.ch"
+
+    def test_invalid_accounts_rejected(self):
+        with pytest.raises(ConfigError):
+            SipAccount(username="", domain="voicehoc.ch")
+        with pytest.raises(ConfigError):
+            SipAccount(username="alice", domain="")
+
+    def test_add_phone_requires_identity(self):
+        sim, stats, stacks = build(n=1)
+        with pytest.raises(ConfigError):
+            stacks[0].add_phone()
+
+
+class TestCallHistory:
+    def test_outgoing_record_fields(self):
+        sim, stats, stacks = build()
+        alice = stacks[0].add_phone(username="alice")
+        bob = stacks[1].add_phone(username="bob")
+        sim.run(2.0)
+        alice.place_call("sip:bob@voicehoc.ch", duration=4.0)
+        sim.run(20.0)
+        record = alice.history[0]
+        assert record.direction == "out"
+        assert record.peer == "sip:bob@voicehoc.ch"
+        assert record.established
+        assert record.setup_delay is not None and record.setup_delay < 3.0
+        assert record.talk_time == pytest.approx(4.0, abs=0.5)
+        assert record.final_state == "terminated"
+
+    def test_incoming_record(self):
+        sim, stats, stacks = build()
+        alice = stacks[0].add_phone(username="alice")
+        bob = stacks[1].add_phone(username="bob")
+        sim.run(2.0)
+        alice.place_call("sip:bob@voicehoc.ch", duration=2.0)
+        sim.run(15.0)
+        record = bob.history[0]
+        assert record.direction == "in"
+        assert "alice" in record.peer
+        assert record.established
+
+    def test_established_and_failed_partition(self):
+        sim, stats, stacks = build()
+        alice = stacks[0].add_phone(username="alice")
+        bob = stacks[1].add_phone(username="bob")
+        sim.run(2.0)
+        alice.place_call("sip:bob@voicehoc.ch", duration=2.0)
+        sim.run(15.0)
+        alice.place_call("sip:ghost@voicehoc.ch")
+        sim.run(30.0)
+        assert len(alice.established_calls()) == 1
+        assert len(alice.failed_calls()) == 1
+
+
+class TestAnswerModes:
+    def test_manual_mode_waits_for_app(self):
+        sim, stats, stacks = build()
+        alice = stacks[0].add_phone(username="alice")
+        bob = stacks[1].add_phone(username="bob", answer_mode=AnswerMode.MANUAL)
+        pending = []
+        bob.on_incoming = pending.append
+        sim.run(2.0)
+        states = []
+        alice.place_call("sip:bob@voicehoc.ch", on_state=lambda c: states.append(c.state))
+        sim.run(5.0)
+        assert states[-1] == CallState.RINGING
+        assert pending
+        pending[0].answer()
+        sim.run(8.0)
+        assert states[-1] == CallState.ESTABLISHED
+
+    def test_reject_mode(self):
+        sim, stats, stacks = build()
+        alice = stacks[0].add_phone(username="alice")
+        stacks[1].add_phone(username="bob", answer_mode=AnswerMode.REJECT)
+        sim.run(2.0)
+        alice.place_call("sip:bob@voicehoc.ch")
+        sim.run(15.0)
+        assert alice.history[0].failure_status == 486
+
+
+class TestMedia:
+    def test_quality_recorded_after_call(self):
+        sim, stats, stacks = build()
+        alice = stacks[0].add_phone(username="alice")
+        bob = stacks[1].add_phone(username="bob")
+        sim.run(2.0)
+        alice.place_call("sip:bob@voicehoc.ch", duration=10.0)
+        sim.run(30.0)
+        for phone in (alice, bob):
+            quality = phone.history[0].quality
+            assert quality is not None
+            assert quality.mos > 4.0
+            assert quality.packets_played > 450
+
+    def test_codec_negotiation_g729(self):
+        sim, stats, stacks = build()
+        alice = stacks[0].add_phone(username="alice", codec=G729)
+        bob = stacks[1].add_phone(username="bob", codec=G729)
+        sim.run(2.0)
+        alice.place_call("sip:bob@voicehoc.ch", duration=5.0)
+        sim.run(20.0)
+        quality = bob.history[0].quality
+        assert quality is not None
+        assert quality.codec_name == "G729"
+        # G.729's codec impairment caps MOS below G.711's ceiling.
+        assert quality.mos < 4.2
+
+    def test_media_disabled(self):
+        sim, stats, stacks = build()
+        alice = stacks[0].add_phone(username="alice", media=False)
+        bob = stacks[1].add_phone(username="bob", media=False)
+        sim.run(2.0)
+        alice.place_call("sip:bob@voicehoc.ch", duration=3.0)
+        sim.run(15.0)
+        assert alice.history[0].established
+        assert alice.history[0].quality is None
+        assert stats.traffic_packets("rtp") == 0
+
+    def test_rtp_flows_between_negotiated_ports(self):
+        sim, stats, stacks = build()
+        alice = stacks[0].add_phone(username="alice")
+        bob = stacks[1].add_phone(username="bob")
+        sim.run(2.0)
+        alice.place_call("sip:bob@voicehoc.ch", duration=5.0)
+        sim.run(20.0)
+        assert stats.traffic_packets("rtp") > 400

@@ -1,0 +1,87 @@
+"""Tests for the SiphocStack composition (the Figure 1 component set)."""
+
+import pytest
+
+from repro.core import SiphocStack, make_routing
+from repro.errors import ConfigError
+from repro.netsim import (
+    InternetCloud,
+    Node,
+    Simulator,
+    Stats,
+    WirelessMedium,
+    manet_ip,
+)
+from repro.routing import Aodv, Olsr
+
+
+@pytest.fixture
+def lone_node(sim):
+    stats = Stats()
+    medium = WirelessMedium(sim, stats=stats)
+    node = Node(sim, 0, manet_ip(0), stats=stats)
+    node.join_medium(medium)
+    return node
+
+
+class TestComposition:
+    def test_figure1_components_present(self, sim, lone_node):
+        stack = SiphocStack(lone_node, routing="aodv")
+        assert stack.routing is not None  # MANET routing
+        assert stack.handler is not None  # routing handler plugin
+        assert stack.manet_slp is not None  # MANET SLP
+        assert stack.proxy is not None  # SIPHoc proxy
+        assert stack.connection is not None  # Connection Provider
+        assert stack.gateway is None  # no wired interface -> no Gateway Provider
+
+    def test_gateway_component_on_wired_node(self, sim, lone_node):
+        cloud = InternetCloud(sim)
+        cloud.attach(lone_node)
+        stack = SiphocStack(lone_node, routing="aodv", cloud=cloud)
+        assert stack.gateway is not None
+        assert stack.connection is None  # wired node does not tunnel
+
+    def test_gateway_without_cloud_rejected(self, sim, lone_node):
+        lone_node.wired_ip = "10.0.0.1"
+        with pytest.raises(ConfigError):
+            SiphocStack(lone_node, routing="aodv")
+
+    def test_routing_selection(self, sim, lone_node):
+        assert isinstance(make_routing(lone_node, "aodv"), Aodv)
+        node2 = Node(sim, 1, manet_ip(1))
+        assert isinstance(make_routing(node2, "olsr"), Olsr)
+        node3 = Node(sim, 2, manet_ip(2))
+        with pytest.raises(ConfigError):
+            make_routing(node3, "dsr")
+
+    def test_phone_ports_do_not_collide(self, sim, lone_node):
+        stack = SiphocStack(lone_node, routing="aodv")
+        p1 = stack.add_phone(username="a", register=False)
+        p2 = stack.add_phone(username="b", register=False)
+        assert p1.ua.transport.port != p2.ua.transport.port
+
+
+class TestLifecycle:
+    def test_start_is_idempotent(self, sim, lone_node):
+        stack = SiphocStack(lone_node, routing="aodv")
+        stack.start()
+        stack.start()
+        assert stack.routing.started
+
+    def test_stop_halts_components(self, sim, lone_node):
+        stack = SiphocStack(lone_node, routing="aodv").start()
+        phone = stack.add_phone(username="alice", register=False)
+        stack.stop()
+        assert not stack.routing.started
+        # Ports are released: a new stack can bind them again.
+        SiphocStack(lone_node, routing="aodv")
+
+    def test_stop_before_start_is_safe(self, sim, lone_node):
+        SiphocStack(lone_node, routing="aodv").stop()
+
+    def test_phone_added_before_start_registers_on_start(self, sim, lone_node):
+        stack = SiphocStack(lone_node, routing="aodv")
+        phone = stack.add_phone(username="alice")
+        stack.start()
+        sim.run(2.0)
+        assert phone.registered

@@ -1,0 +1,174 @@
+"""Unit tests for the layer-2 tunnel (codec, leases, data plane)."""
+
+import pytest
+
+from repro.core import TunnelClient, TunnelServer, decode_inner_packet, encode_inner_packet
+from repro.errors import CodecError, GatewayError
+from repro.netsim import (
+    Datagram,
+    InternetCloud,
+    Node,
+    Packet,
+    Simulator,
+    Stats,
+    WirelessMedium,
+    make_internet_host,
+    manet_ip,
+    place_chain,
+)
+from tests.conftest import make_chain
+
+
+class TestInnerPacketCodec:
+    def test_round_trip(self):
+        packet = Packet("10.0.0.1", "10.0.0.2", Datagram(5060, 5061, b"sip data"), ttl=40)
+        decoded = decode_inner_packet(encode_inner_packet(packet))
+        assert decoded.src == packet.src
+        assert decoded.dst == packet.dst
+        assert decoded.ttl == 40
+        assert (decoded.sport, decoded.dport) == (5060, 5061)
+        assert decoded.data == b"sip data"
+
+    def test_truncated_rejected(self):
+        packet = Packet("10.0.0.1", "10.0.0.2", Datagram(1, 2, b"xyz"))
+        with pytest.raises(CodecError):
+            decode_inner_packet(encode_inner_packet(packet)[:6])
+
+
+@pytest.fixture
+def tunnel_setup(sim):
+    """Gateway (wired+wireless) and client node adjacent on the MANET."""
+    stats = Stats()
+    medium = WirelessMedium(sim, stats=stats, tx_range=150.0)
+    client, gateway = make_chain(sim, medium, 2, static_routes=True)
+    cloud = InternetCloud(sim, stats=stats)
+    cloud.attach(gateway)
+    server = TunnelServer(gateway, cloud)
+    return stats, cloud, client, gateway, server
+
+
+class TestLeases:
+    def test_server_requires_wired_interface(self, sim, medium):
+        (orphan,) = make_chain(sim, medium, 1)
+        cloud = InternetCloud(sim)
+        with pytest.raises(GatewayError):
+            TunnelServer(orphan, cloud)
+
+    def test_connect_grants_lease_and_address(self, sim, tunnel_setup):
+        stats, cloud, client_node, gateway, server = tunnel_setup
+        client = TunnelClient(client_node, gateway.ip)
+        outcome = []
+        client.connect(outcome.append)
+        sim.run(2.0)
+        assert outcome == [True]
+        assert client.connected
+        assert client.tunnel_ip is not None
+        assert client_node.is_local_address(client.tunnel_ip)
+        assert "tunnel" in client_node.default_route_names()
+        assert len(server.active_leases) == 1
+
+    def test_connect_timeout_when_gateway_gone(self, sim, tunnel_setup):
+        stats, cloud, client_node, gateway, server = tunnel_setup
+        gateway.up = False
+        client = TunnelClient(client_node, gateway.ip)
+        outcome = []
+        client.connect(outcome.append)
+        sim.run(10.0)
+        assert outcome == [False]
+        assert not client.connected
+
+    def test_renewal_extends_lease(self, sim, tunnel_setup):
+        stats, cloud, client_node, gateway, server = tunnel_setup
+        client = TunnelClient(client_node, gateway.ip)
+        client.connect()
+        sim.run(2.0)
+        lease = server.active_leases[0]
+        first_expiry = lease.expires_at
+        sim.run(2.0 + TunnelClient.RENEW_INTERVAL + 2.0)
+        assert server.active_leases[0].expires_at > first_expiry
+
+    def test_disconnect_releases_everything(self, sim, tunnel_setup):
+        stats, cloud, client_node, gateway, server = tunnel_setup
+        client = TunnelClient(client_node, gateway.ip)
+        client.connect()
+        sim.run(2.0)
+        tunnel_ip = client.tunnel_ip
+        client.disconnect()
+        sim.run(3.0)
+        assert not client_node.is_local_address(tunnel_ip)
+        assert "tunnel" not in client_node.default_route_names()
+        assert server.active_leases == []
+
+    def test_stale_lease_expires(self, sim, tunnel_setup):
+        stats, cloud, client_node, gateway, server = tunnel_setup
+        client = TunnelClient(client_node, gateway.ip)
+        client.connect()
+        sim.run(2.0)
+        client._renew_task.stop()  # simulate a crashed client
+        sim.run(2.0 + TunnelServer.LEASE_TIME + 15.0)
+        assert server.active_leases == []
+
+
+class TestDataPlane:
+    def test_manet_node_reaches_internet_host(self, sim, tunnel_setup):
+        stats, cloud, client_node, gateway, server = tunnel_setup
+        host = make_internet_host(sim, cloud, "remote.example")
+        client = TunnelClient(client_node, gateway.ip)
+        client.connect()
+        sim.run(2.0)
+        got = []
+        host.bind(7000, lambda data, src, sport: got.append((data, src)))
+        client_node.send_udp(host.wired_ip, 6000, 7000, b"up and out")
+        sim.run(4.0)
+        assert got and got[0][0] == b"up and out"
+        # Source was NATed to the tunnel address.
+        assert got[0][1] == client.tunnel_ip
+
+    def test_internet_host_reaches_manet_node(self, sim, tunnel_setup):
+        stats, cloud, client_node, gateway, server = tunnel_setup
+        host = make_internet_host(sim, cloud, "remote.example")
+        client = TunnelClient(client_node, gateway.ip)
+        client.connect()
+        sim.run(2.0)
+        got = []
+        client_node.bind(7000, lambda data, src, sport: got.append((data, src)))
+        host.send_udp(client.tunnel_ip, 6000, 7000, b"down and in")
+        sim.run(4.0)
+        assert got == [(b"down and in", host.wired_ip)]
+
+    def test_round_trip_request_reply(self, sim, tunnel_setup):
+        stats, cloud, client_node, gateway, server = tunnel_setup
+        host = make_internet_host(sim, cloud, "echo.example")
+        client = TunnelClient(client_node, gateway.ip)
+        client.connect()
+        sim.run(2.0)
+
+        def echo(data, src, sport):
+            host.send_udp(src, 7000, sport, data + b"!")
+
+        host.bind(7000, echo)
+        got = []
+        client_node.bind(6000, lambda data, src, sport: got.append(data))
+        client_node.send_udp(host.wired_ip, 6000, 7000, b"ping")
+        sim.run(5.0)
+        assert got == [b"ping!"]
+
+    def test_unauthorized_frames_dropped(self, sim, tunnel_setup):
+        stats, cloud, client_node, gateway, server = tunnel_setup
+        # No lease: hand-crafted frame claiming a bogus source address.
+        inner = Packet("10.99.99.99", "10.0.0.1", Datagram(1, 2, b"spoof"))
+        from repro.netsim.packet import PORT_SIPHOC_TUNNEL
+
+        client_node.send_udp(
+            gateway.ip, PORT_SIPHOC_TUNNEL, PORT_SIPHOC_TUNNEL, encode_inner_packet(inner)
+        )
+        sim.run(2.0)
+        assert gateway.stats.count("tunnel.unauthorized_frames") == 1
+
+    def test_traffic_without_lease_dropped_client_side(self, sim, tunnel_setup):
+        stats, cloud, client_node, gateway, server = tunnel_setup
+        client = TunnelClient(client_node, gateway.ip)
+        # Install the default route by hand without a lease.
+        client_node.set_default_route("tunnel", client._upstream, priority=10)
+        client_node.send_udp("10.1.2.3", 6000, 7000, b"nowhere")
+        assert stats.count("tunnel.dropped_no_lease") == 1

@@ -1,0 +1,121 @@
+"""Integration: digest authentication end-to-end through the system."""
+
+import pytest
+
+from repro.core import SipAccount, SipProvider, SiphocStack
+from repro.netsim import (
+    InternetCloud,
+    Node,
+    Simulator,
+    Stats,
+    WirelessMedium,
+    make_internet_host,
+    manet_ip,
+    place_chain,
+)
+from repro.sip import UserAgent
+from repro.sip.auth import Credentials
+from repro.sip.uri import SipUri
+
+
+def build(seed=91):
+    sim = Simulator(seed=seed)
+    stats = Stats()
+    medium = WirelessMedium(sim, stats=stats, tx_range=150.0)
+    cloud = InternetCloud(sim, stats=stats)
+    provider = SipProvider(cloud, "secure.example", auth_required=True)
+    nodes = []
+    for index in range(3):
+        node = Node(sim, index, manet_ip(index), stats=stats)
+        node.join_medium(medium)
+        nodes.append(node)
+    place_chain(nodes, 100.0)
+    cloud.attach(nodes[-1])
+    stacks = [SiphocStack(node, routing="aodv", cloud=cloud).start() for node in nodes]
+    return sim, stats, cloud, provider, nodes, stacks
+
+
+class TestDirectUaAuth:
+    def test_register_with_credentials_succeeds(self):
+        sim, stats, cloud, provider, nodes, stacks = build()
+        creds = provider.add_subscriber("erin", "hunter2")
+        host = make_internet_host(sim, cloud, "erin.secure.example")
+        ua = UserAgent(
+            host,
+            aor=SipUri(user="erin", host="secure.example"),
+            port=5060,
+            outbound_proxy=(provider.address, 5060),
+            credentials=creds,
+        )
+        results = []
+        ua.register(on_result=lambda ok, resp: results.append(ok))
+        sim.run(3.0)
+        assert results == [True]
+        assert provider.host.stats.count("provider.auth_challenges") == 1
+        assert provider.location.lookup("sip:erin@secure.example", sim.now)
+
+    def test_register_without_credentials_rejected(self):
+        sim, stats, cloud, provider, nodes, stacks = build()
+        host = make_internet_host(sim, cloud, "mallory.example")
+        ua = UserAgent(
+            host,
+            aor=SipUri(user="mallory", host="secure.example"),
+            port=5060,
+            outbound_proxy=(provider.address, 5060),
+        )
+        results = []
+        ua.register(on_result=lambda ok, resp: results.append((ok, resp.status if resp else None)))
+        sim.run(3.0)
+        assert results == [(False, 401)]
+
+    def test_register_with_wrong_password_rejected(self):
+        sim, stats, cloud, provider, nodes, stacks = build()
+        provider.add_subscriber("erin", "hunter2")
+        host = make_internet_host(sim, cloud, "erin.secure.example")
+        ua = UserAgent(
+            host,
+            aor=SipUri(user="erin", host="secure.example"),
+            port=5060,
+            outbound_proxy=(provider.address, 5060),
+            credentials=Credentials("erin", "wrong"),
+        )
+        results = []
+        ua.register(on_result=lambda ok, resp: results.append(ok))
+        sim.run(3.0)
+        assert results == [False]
+
+
+class TestSiphocUpstreamAuth:
+    def test_proxy_answers_provider_challenge(self):
+        sim, stats, cloud, provider, nodes, stacks = build()
+        provider.add_subscriber("alice", "s3cret")
+        account = SipAccount(username="alice", domain="secure.example", password="s3cret")
+        stacks[0].add_phone(account=account)
+        sim.run(20.0)
+        assert (
+            stacks[0].proxy.upstream_registrations.get("sip:alice@secure.example") is True
+        )
+        contacts = provider.location.lookup("sip:alice@secure.example", sim.now)
+        assert contacts  # binding installed after the 401 round-trip
+
+    def test_proxy_without_password_fails_upstream(self):
+        sim, stats, cloud, provider, nodes, stacks = build()
+        provider.add_subscriber("alice", "s3cret")
+        account = SipAccount(username="alice", domain="secure.example")  # no password
+        stacks[0].add_phone(account=account)
+        sim.run(20.0)
+        assert (
+            stacks[0].proxy.upstream_registrations.get("sip:alice@secure.example") is False
+        )
+
+    def test_authenticated_end_to_end_call(self):
+        sim, stats, cloud, provider, nodes, stacks = build()
+        carol = provider.create_softphone("carol")  # auto-provisioned credentials
+        provider.add_subscriber("alice", "s3cret")
+        alice = stacks[0].add_phone(
+            account=SipAccount(username="alice", domain="secure.example", password="s3cret")
+        )
+        sim.run(20.0)
+        alice.place_call("sip:carol@secure.example", duration=3.0)
+        sim.run(50.0)
+        assert alice.history[0].established

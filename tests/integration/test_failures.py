@@ -1,0 +1,115 @@
+"""Integration: failure injection — crashes, partitions, lossy links."""
+
+import pytest
+
+from repro.scenarios import ManetConfig, ManetScenario, build_chain_call_scenario
+from repro.sip import CallState
+
+
+class TestNodeFailures:
+    def test_relay_crash_mid_call_degrades_then_reroutes(self):
+        """Diamond topology: the active relay dies mid-call; AODV finds the
+        alternate path and media continues."""
+        scenario = ManetScenario(
+            ManetConfig(n_nodes=4, topology="chain", routing="aodv", seed=21)
+        )
+        # Rewire into a diamond: 0 - {1,2} - 3.
+        scenario.nodes[0].position = (0.0, 0.0)
+        scenario.nodes[1].position = (100.0, 60.0)
+        scenario.nodes[2].position = (100.0, -60.0)
+        scenario.nodes[3].position = (200.0, 0.0)
+        scenario.start()
+        alice = scenario.add_phone(0, "alice")
+        bob = scenario.add_phone(3, "bob")
+        scenario.converge()
+        call = scenario.phones["alice"].place_call("sip:bob@voicehoc.ch", duration=30.0)
+        scenario.sim.run_until(lambda: call.state is CallState.ESTABLISHED, timeout=15.0)
+        assert call.state is CallState.ESTABLISHED
+        # Kill whichever relay carries the route.
+        route = scenario.stacks[0].routing.route_to(scenario.nodes[3].ip)
+        relay = scenario.medium.node_by_ip(route.next_hop)
+        relay.up = False
+        scenario.sim.run(scenario.sim.now + 35.0)
+        record = scenario.phones["alice"].history[0]
+        assert record.established
+        quality = record.quality
+        assert quality is not None
+        # Some frames died with the relay, but the call survived overall.
+        assert quality.packets_played > 0.5 * quality.packets_expected
+
+    def test_callee_crash_means_call_timeout(self):
+        scenario = build_chain_call_scenario(hops=2, routing="aodv", seed=22)
+        scenario.converge()
+        scenario.nodes[2].up = False
+        phone = scenario.phones["alice"]
+        call = phone.place_call("sip:bob@voicehoc.ch")
+        scenario.sim.run(scenario.sim.now + 60.0)
+        record = phone.history[0]
+        assert record.final_state == "failed"
+        assert record.failure_status in (404, 408)
+
+    def test_partitioned_network_call_fails_cleanly(self):
+        scenario = build_chain_call_scenario(hops=4, routing="aodv", seed=23)
+        scenario.converge()
+        # Move the middle node far away: two partitions.
+        scenario.nodes[2].position = (10_000.0, 10_000.0)
+        phone = scenario.phones["alice"]
+        call = phone.place_call("sip:bob@voicehoc.ch")
+        scenario.sim.run(scenario.sim.now + 60.0)
+        assert phone.history[0].final_state == "failed"
+
+
+class TestLossyLinks:
+    @pytest.mark.parametrize("loss", [0.05, 0.15])
+    def test_calls_survive_moderate_loss(self, loss):
+        scenario = build_chain_call_scenario(hops=2, routing="aodv", seed=24, loss_rate=loss)
+        scenario.converge()
+        record = scenario.call_and_wait(
+            "alice", "sip:bob@voicehoc.ch", duration=8.0, setup_timeout=40.0
+        )
+        assert record.established  # SIP retransmissions beat the loss
+        assert record.quality is not None
+
+    def test_heavy_loss_degrades_mos(self):
+        clean = build_chain_call_scenario(hops=2, routing="aodv", seed=25, loss_rate=0.0)
+        clean.converge()
+        good = clean.call_and_wait("alice", "sip:bob@voicehoc.ch", duration=8.0)
+        clean.stop()
+        noisy = build_chain_call_scenario(hops=2, routing="aodv", seed=25, loss_rate=0.2)
+        noisy.converge()
+        bad = noisy.call_and_wait(
+            "alice", "sip:bob@voicehoc.ch", duration=8.0, setup_timeout=60.0
+        )
+        noisy.stop()
+        assert good.established
+        if bad.established and bad.quality is not None:
+            assert bad.quality.mos < good.quality.mos
+
+
+class TestMobility:
+    def test_call_in_mobile_network(self):
+        scenario = ManetScenario(
+            ManetConfig(
+                n_nodes=12,
+                topology="random",
+                routing="aodv",
+                seed=26,
+                area=(350.0, 350.0),
+                tx_range=150.0,
+                mobility=True,
+                mobility_speed=(0.5, 1.5),
+            )
+        )
+        scenario.start()
+        scenario.add_phone(0, "alice")
+        scenario.add_phone(11, "bob")
+        scenario.converge(5.0)
+        established = 0
+        for attempt in range(3):
+            record = scenario.call_and_wait(
+                "alice", "sip:bob@voicehoc.ch", duration=5.0, setup_timeout=30.0
+            )
+            if record.established:
+                established += 1
+        assert established >= 1  # dense-enough network keeps working under motion
+        scenario.stop()

@@ -1,0 +1,117 @@
+"""Integration: the section 3.2 gateway scenarios, including dynamics."""
+
+import pytest
+
+from repro.core import GatewayProvider, SipAccount
+from repro.scenarios import ManetConfig, ManetScenario
+from repro.sip import CallState
+
+
+def build(n_nodes=4, seed=13, providers=("siphoc.ch",), gateways=1):
+    scenario = ManetScenario(
+        ManetConfig(
+            n_nodes=n_nodes,
+            topology="chain",
+            routing="aodv",
+            seed=seed,
+            internet_gateways=gateways,
+            providers=providers,
+        )
+    )
+    scenario.start()
+    return scenario
+
+
+class TestTransparency:
+    def test_same_account_works_in_manet_and_to_internet(self):
+        """The paper's transparency claim: one official SIP address for both."""
+        scenario = build()
+        provider = scenario.providers["siphoc.ch"]
+        carol = provider.create_user("carol")
+        carol.on_invite = lambda call: (call.ring(), scenario.sim.schedule(0.2, call.answer))
+        alice = scenario.add_phone(0, "alice", account=SipAccount(username="alice", domain="siphoc.ch"))
+        bob = scenario.add_phone(1, "bob", account=SipAccount(username="bob", domain="siphoc.ch"))
+        scenario.sim.run(20.0)
+        in_manet = scenario.call_and_wait("alice", "sip:bob@siphoc.ch", duration=2.0)
+        assert in_manet.established
+        to_internet = scenario.call_and_wait("alice", "sip:carol@siphoc.ch", duration=2.0)
+        assert to_internet.established
+        scenario.stop()
+
+    def test_inbound_calls_reach_manet_user(self):
+        scenario = build()
+        provider = scenario.providers["siphoc.ch"]
+        carol = provider.create_user("carol")
+        alice = scenario.add_phone(0, "alice", account=SipAccount(username="alice", domain="siphoc.ch"))
+        scenario.sim.run(20.0)
+        states = []
+        call = carol.call("sip:alice@siphoc.ch", on_state=lambda c: states.append(c.state))
+        scenario.sim.run_until(
+            lambda: call.state in (CallState.ESTABLISHED, CallState.FAILED), timeout=30.0
+        )
+        assert call.state is CallState.ESTABLISHED
+        call.hangup()
+        scenario.sim.run(scenario.sim.now + 3.0)
+        assert states[-1] == CallState.TERMINATED
+        scenario.stop()
+
+
+class TestDynamics:
+    def test_gateway_appearing_later_enables_internet(self):
+        """'Should the MANET be temporarily connected to the Internet...'"""
+        scenario = ManetScenario(
+            ManetConfig(n_nodes=3, topology="chain", routing="aodv", seed=14,
+                        providers=("siphoc.ch",), internet_gateways=0)
+        )
+        scenario.start()
+        alice = scenario.add_phone(0, "alice", account=SipAccount(username="alice", domain="siphoc.ch"))
+        scenario.sim.run(10.0)
+        assert not scenario.stacks[0].internet_available
+        # Now the last node gains Internet connectivity.
+        gateway_node = scenario.nodes[-1]
+        scenario.cloud.attach(gateway_node)
+        gateway_stack = scenario.stacks[-1]
+        gateway_stack.gateway = GatewayProvider(
+            gateway_node, scenario.cloud, gateway_stack.manet_slp
+        ).start()
+        scenario.sim.run_until(lambda: scenario.stacks[0].internet_available, timeout=60.0)
+        assert scenario.stacks[0].internet_available
+        scenario.sim.run(scenario.sim.now + 5.0)
+        assert scenario.stacks[0].proxy.upstream_registrations.get("sip:alice@siphoc.ch")
+        scenario.stop()
+
+    def test_gateway_loss_disables_internet_but_not_manet_calls(self):
+        scenario = build()
+        alice = scenario.add_phone(0, "alice", account=SipAccount(username="alice", domain="siphoc.ch"))
+        bob = scenario.add_phone(1, "bob", account=SipAccount(username="bob", domain="siphoc.ch"))
+        scenario.sim.run(20.0)
+        assert scenario.stacks[0].internet_available
+        scenario.nodes[-1].up = False  # gateway crashes
+        scenario.sim.run(scenario.sim.now + 80.0)
+        assert not scenario.stacks[0].internet_available
+        record = scenario.call_and_wait("alice", "sip:bob@siphoc.ch", duration=2.0)
+        assert record.established  # MANET-local calls unaffected
+        scenario.stop()
+
+    def test_two_gateways_redundancy(self):
+        scenario = ManetScenario(
+            ManetConfig(n_nodes=5, topology="chain", routing="aodv", seed=15,
+                        providers=("siphoc.ch",), internet_gateways=2)
+        )
+        scenario.start()
+        alice = scenario.add_phone(0, "alice", account=SipAccount(username="alice", domain="siphoc.ch"))
+        scenario.sim.run(20.0)
+        assert scenario.stacks[0].internet_available
+        first_gateway = scenario.stacks[0].connection.tunnel.gateway_ip
+        # Kill the gateway currently in use; the other one takes over.
+        scenario.medium.node_by_ip(first_gateway).up = False
+        scenario.sim.run_until(
+            lambda: (
+                scenario.stacks[0].connection.connected
+                and scenario.stacks[0].connection.tunnel.gateway_ip != first_gateway
+            ),
+            timeout=240.0,
+            step=1.0,
+        )
+        assert scenario.stacks[0].connection.tunnel.gateway_ip != first_gateway
+        scenario.stop()

@@ -1,0 +1,127 @@
+"""Integration: call hold/resume via mid-dialog re-INVITE."""
+
+import pytest
+
+from repro.scenarios import build_chain_call_scenario
+from repro.sip import CallState
+from repro.sip.sdp import SessionDescription
+
+
+@pytest.fixture
+def live_call():
+    scenario = build_chain_call_scenario(hops=2, routing="aodv", seed=55)
+    scenario.converge()
+    alice = scenario.phones["alice"]
+    bob = scenario.phones["bob"]
+    call = alice.place_call("sip:bob@voicehoc.ch")
+    scenario.sim.run_until(lambda: call.state is CallState.ESTABLISHED, timeout=15.0)
+    assert call.state is CallState.ESTABLISHED
+    yield scenario, alice, bob, call
+    scenario.stop()
+
+
+class TestHoldResume:
+    def test_hold_pauses_media_both_ways(self, live_call):
+        scenario, alice, bob, call = live_call
+        sim = scenario.sim
+        sim.run(sim.now + 3.0)  # some talk time
+        rtp_before = scenario.stats.traffic_packets("rtp")
+        results = []
+        alice.hold(call, on_result=results.append)
+        sim.run(sim.now + 1.0)
+        assert results == [True]
+        assert call.on_hold
+        assert call.media_direction == "inactive"
+        # During hold, (almost) no new RTP hits the air.
+        quiet_start = scenario.stats.traffic_packets("rtp")
+        sim.run(sim.now + 5.0)
+        assert scenario.stats.traffic_packets("rtp") - quiet_start < 20
+
+    def test_resume_restores_media(self, live_call):
+        scenario, alice, bob, call = live_call
+        sim = scenario.sim
+        alice.hold(call)
+        sim.run(sim.now + 2.0)
+        results = []
+        alice.resume(call, on_result=results.append)
+        sim.run(sim.now + 1.0)
+        assert results == [True]
+        assert not call.on_hold
+        flowing_start = scenario.stats.traffic_packets("rtp")
+        sim.run(sim.now + 5.0)
+        # ~50 pps per direction resumed.
+        assert scenario.stats.traffic_packets("rtp") - flowing_start > 300
+
+    def test_callee_sees_hold_state(self, live_call):
+        scenario, alice, bob, call = live_call
+        sim = scenario.sim
+        alice.hold(call)
+        sim.run(sim.now + 2.0)
+        bob_call = bob.ua.active_calls[0]
+        assert bob_call.media_direction == "inactive"
+        alice.resume(call)
+        sim.run(sim.now + 2.0)
+        assert bob_call.media_direction == "sendrecv"
+
+    def test_hangup_after_hold(self, live_call):
+        scenario, alice, bob, call = live_call
+        sim = scenario.sim
+        alice.hold(call)
+        sim.run(sim.now + 1.0)
+        call.hangup()
+        sim.run(sim.now + 5.0)
+        assert call.state is CallState.TERMINATED
+        assert not bob.ua.active_calls
+
+    def test_reinvite_outside_dialog_rejected(self, live_call):
+        scenario, alice, bob, call = live_call
+        sim = scenario.sim
+        # Craft a re-INVITE with bogus tags straight at bob's UA.
+        from repro.sip import Headers, SipRequest
+
+        headers = Headers()
+        headers.add("From", "<sip:alice@voicehoc.ch>;tag=wrong")
+        headers.add("To", "<sip:bob@voicehoc.ch>;tag=alsowrong")
+        headers.add("Call-ID", "no-such-dialog")
+        headers.add("CSeq", "2 INVITE")
+        request = SipRequest("INVITE", f"sip:bob@{scenario.nodes[2].ip}:5070", headers=headers)
+        responses = []
+        alice.ua.transactions.send_request(
+            request, (scenario.nodes[2].ip, 5070), responses.append
+        )
+        sim.run(sim.now + 3.0)
+        final = [r.status for r in responses if r.is_final]
+        assert final == [481]
+
+    def test_hold_on_unestablished_call_fails(self):
+        scenario = build_chain_call_scenario(hops=1, routing="aodv", seed=56)
+        scenario.converge()
+        alice = scenario.phones["alice"]
+        call = alice.place_call("sip:ghost@voicehoc.ch")
+        results = []
+        call.hold(results.append)
+        scenario.sim.run(scenario.sim.now + 1.0)
+        assert results == [False]
+        scenario.stop()
+
+
+class TestSdpDirections:
+    def test_with_direction_round_trip(self):
+        offer = SessionDescription.offer("10.0.0.1", 16384)
+        assert offer.direction == "sendrecv"
+        held = offer.with_direction("inactive")
+        assert held.direction == "inactive"
+        resumed = held.with_direction("sendrecv")
+        assert resumed.direction == "sendrecv"
+        # Direction attributes never accumulate.
+        assert sum(
+            1 for a in resumed.audio.attributes
+            if a in ("sendrecv", "sendonly", "recvonly", "inactive")
+        ) == 1
+
+    def test_invalid_direction_rejected(self):
+        from repro.errors import SipParseError
+
+        offer = SessionDescription.offer("10.0.0.1", 16384)
+        with pytest.raises(SipParseError):
+            offer.with_direction("backwards")

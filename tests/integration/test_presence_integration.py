@@ -1,0 +1,89 @@
+"""Integration: presence through SIPHoc, across the MANET and the gateway."""
+
+import pytest
+
+from repro.scenarios import ManetConfig, ManetScenario, build_chain_call_scenario
+from repro.sip import CallState
+from repro.sip.pidf import AVAILABLE, OFFLINE, ON_THE_PHONE
+
+
+class TestManetPresence:
+    def test_buddy_list_across_manet(self):
+        scenario = build_chain_call_scenario(hops=2, routing="aodv", seed=61)
+        scenario.converge()
+        alice = scenario.phones["alice"]
+        bob = scenario.phones["bob"]
+        changes = []
+        alice.watch("sip:bob@voicehoc.ch", on_change=lambda aor, s: changes.append(s))
+        scenario.sim.run(scenario.sim.now + 5.0)
+        assert alice.buddies.get("sip:bob@voicehoc.ch") == AVAILABLE
+        scenario.stop()
+
+    def test_busy_state_propagates_during_call(self):
+        scenario = build_chain_call_scenario(hops=2, routing="aodv", seed=62)
+        scenario.converge()
+        alice = scenario.phones["alice"]
+        bob = scenario.phones["bob"]
+        # A third watcher on the middle node observes bob.
+        watcher = scenario.add_phone(1, "carol")
+        scenario.sim.run(scenario.sim.now + 2.0)
+        watcher.watch("sip:bob@voicehoc.ch")
+        scenario.sim.run(scenario.sim.now + 5.0)
+        assert watcher.buddies["sip:bob@voicehoc.ch"] == AVAILABLE
+
+        call = alice.place_call("sip:bob@voicehoc.ch")
+        scenario.sim.run_until(lambda: call.state is CallState.ESTABLISHED, timeout=15.0)
+        scenario.sim.run(scenario.sim.now + 3.0)
+        assert watcher.buddies["sip:bob@voicehoc.ch"] == ON_THE_PHONE
+
+        call.hangup()
+        scenario.sim.run(scenario.sim.now + 5.0)
+        assert watcher.buddies["sip:bob@voicehoc.ch"] == AVAILABLE
+        scenario.stop()
+
+    def test_phone_shutdown_notifies_offline(self):
+        scenario = build_chain_call_scenario(hops=2, routing="aodv", seed=63)
+        scenario.converge()
+        alice = scenario.phones["alice"]
+        bob = scenario.phones["bob"]
+        alice.watch("sip:bob@voicehoc.ch")
+        scenario.sim.run(scenario.sim.now + 5.0)
+        bob.stop()
+        scenario.sim.run(scenario.sim.now + 5.0)
+        assert alice.buddies["sip:bob@voicehoc.ch"] == OFFLINE
+        scenario.stop()
+
+    def test_unwatch_stops_updates(self):
+        scenario = build_chain_call_scenario(hops=2, routing="aodv", seed=64)
+        scenario.converge()
+        alice = scenario.phones["alice"]
+        bob = scenario.phones["bob"]
+        alice.watch("sip:bob@voicehoc.ch")
+        scenario.sim.run(scenario.sim.now + 5.0)
+        alice.unwatch("sip:bob@voicehoc.ch")
+        scenario.sim.run(scenario.sim.now + 3.0)
+        assert bob.ua.watcher_count == 0
+        assert "sip:bob@voicehoc.ch" not in alice.buddies
+        scenario.stop()
+
+
+class TestGatewayPresence:
+    def test_internet_user_watches_manet_user(self):
+        from repro.core import SipAccount
+
+        scenario = ManetScenario(
+            ManetConfig(
+                n_nodes=3, topology="chain", routing="aodv", seed=65,
+                internet_gateways=1, providers=("siphoc.ch",),
+            )
+        )
+        scenario.start()
+        carol = scenario.providers["siphoc.ch"].create_softphone("carol")
+        alice = scenario.add_phone(
+            0, "alice", account=SipAccount(username="alice", domain="siphoc.ch")
+        )
+        scenario.sim.run(20.0)
+        carol.watch("sip:alice@siphoc.ch")
+        scenario.sim.run(40.0)
+        assert carol.buddies.get("sip:alice@siphoc.ch") == AVAILABLE
+        scenario.stop()

@@ -1,0 +1,130 @@
+"""Integration: video calls over the MANET and through the gateway.
+
+The paper's intro lists video among the services VoIP-over-MANET should
+carry; these tests run audio+video sessions through the same SIPHoc path.
+"""
+
+import pytest
+
+from repro.core import SipAccount, SiphocStack
+from repro.netsim import (
+    InternetCloud,
+    Node,
+    Simulator,
+    Stats,
+    WirelessMedium,
+    manet_ip,
+    place_chain,
+)
+from repro.sip import CallState
+
+
+def build(n=3, seed=85, gateway=False, providers=(), video_caller=True, video_callee=True):
+    sim = Simulator(seed=seed)
+    stats = Stats()
+    medium = WirelessMedium(sim, stats=stats, tx_range=150.0, bitrate=11_000_000)
+    cloud = None
+    provider_objs = {}
+    if gateway or providers:
+        cloud = InternetCloud(sim, stats=stats)
+        from repro.core import SipProvider
+
+        for domain in providers:
+            provider_objs[domain] = SipProvider(cloud, domain)
+    nodes = []
+    for index in range(n):
+        node = Node(sim, index, manet_ip(index), stats=stats)
+        node.join_medium(medium)
+        nodes.append(node)
+    place_chain(nodes, 100.0)
+    if gateway:
+        cloud.attach(nodes[-1])
+    stacks = [SiphocStack(node, routing="aodv", cloud=cloud).start() for node in nodes]
+    alice = stacks[0].add_phone(username="alice", video=video_caller)
+    bob = stacks[-1].add_phone(username="bob", video=video_callee)
+    return sim, stats, stacks, alice, bob, provider_objs
+
+
+class TestManetVideo:
+    def test_video_call_both_streams_flow(self):
+        sim, stats, stacks, alice, bob, _ = build()
+        sim.run(2.0)
+        alice.place_call("sip:bob@voicehoc.ch", duration=5.0)
+        sim.run(20.0)
+        for phone in (alice, bob):
+            record = phone.history[0]
+            assert record.established
+            assert record.quality is not None  # audio scored
+            assert record.video is not None, f"{phone.aor}: no video received"
+            assert record.video.loss_ratio < 0.05
+            assert record.video.watchable
+
+    def test_video_declined_by_audio_only_callee(self):
+        sim, stats, stacks, alice, bob, _ = build(video_callee=False)
+        sim.run(2.0)
+        call = alice.place_call("sip:bob@voicehoc.ch", duration=4.0)
+        sim.run(20.0)
+        record = alice.history[0]
+        assert record.established
+        assert record.quality is not None  # audio fine
+        assert record.video is None  # declined: m=video port 0 in the answer
+        # The answer explicitly rejected the stream rather than omitting it.
+        assert call.remote_sdp is not None
+        assert call.remote_sdp.video is None
+        assert any(m.media == "video" and m.port == 0 for m in call.remote_sdp.media)
+
+    def test_audio_only_phone_never_offers_video(self):
+        sim, stats, stacks, alice, bob, _ = build(video_caller=False)
+        sim.run(2.0)
+        call = alice.place_call("sip:bob@voicehoc.ch", duration=3.0)
+        sim.run(15.0)
+        assert alice.history[0].established
+        assert all(m.media != "video" for m in call.local_sdp.media)
+
+    def test_video_bitrate_dominates_traffic(self):
+        sim, stats, stacks, alice, bob, _ = build()
+        sim.run(2.0)
+        alice.place_call("sip:bob@voicehoc.ch", duration=10.0)
+        sim.run(25.0)
+        # ~312 kbit/s video vs 64 kbit/s audio per direction.
+        rtp_bytes = stats.traffic_bytes("rtp")
+        assert rtp_bytes > 800_000
+
+    def test_hold_pauses_video_too(self):
+        sim, stats, stacks, alice, bob, _ = build()
+        sim.run(2.0)
+        call = alice.place_call("sip:bob@voicehoc.ch")
+        sim.run_until(lambda: call.state is CallState.ESTABLISHED, timeout=15.0)
+        sim.run(sim.now + 2.0)
+        alice.hold(call)
+        sim.run(sim.now + 1.0)
+        quiet_start = stats.traffic_packets("rtp")
+        sim.run(sim.now + 4.0)
+        assert stats.traffic_packets("rtp") - quiet_start < 30
+        alice.resume(call)
+        sim.run(sim.now + 1.0)
+        flowing = stats.traffic_packets("rtp")
+        sim.run(sim.now + 3.0)
+        assert stats.traffic_packets("rtp") - flowing > 200
+
+
+class TestGatewayVideo:
+    def test_video_relayed_across_gateway(self):
+        sim, stats, stacks, alice, bob, providers = build(
+            n=3, gateway=True, providers=("siphoc.ch",)
+        )
+        provider = providers["siphoc.ch"]
+        carol = provider.create_softphone("carol", video=True)
+        vip = stacks[0].add_phone(
+            account=SipAccount(username="vip", domain="siphoc.ch"), video=True
+        )
+        sim.run(20.0)
+        vip.place_call("sip:carol@siphoc.ch", duration=5.0)
+        sim.run(60.0)
+        record = vip.history[0]
+        assert record.established
+        assert record.quality is not None
+        assert record.video is not None, "video must relay through the gateway"
+        assert record.video.loss_ratio < 0.1
+        carol_record = carol.history[0]
+        assert carol_record.video is not None

@@ -1,0 +1,95 @@
+"""Unit tests for the radio energy model."""
+
+import pytest
+
+from repro.netsim import (
+    BROADCAST,
+    Datagram,
+    EnergyCoefficients,
+    EnergyModel,
+    Node,
+    Packet,
+    Simulator,
+    WirelessMedium,
+    manet_ip,
+)
+
+
+def build(sim, positions, loss_rate=0.0, mac_retries=3):
+    energy = EnergyModel()
+    medium = WirelessMedium(
+        sim, tx_range=100.0, loss_rate=loss_rate, mac_retries=mac_retries, energy=energy
+    )
+    nodes = []
+    for index, position in enumerate(positions):
+        node = Node(sim, index, manet_ip(index), position=position)
+        node.join_medium(medium)
+        nodes.append(node)
+    return energy, medium, nodes
+
+
+def packet(dst, size=100):
+    return Packet("192.168.0.1", dst, Datagram(1000, 2000, b"x" * size))
+
+
+class TestModel:
+    def test_linear_cost_formula(self):
+        model = EnergyModel(EnergyCoefficients(send_m=2.0, send_b=100.0))
+        sim = Simulator()
+        node = Node(sim, 0, manet_ip(0))
+        pkt = packet(BROADCAST, size=38)  # 38 + 62 framing = 100 bytes
+        model.on_send(node, pkt)
+        assert model.spent_uj(node.ip) == pytest.approx(2.0 * pkt.size + 100.0)
+
+    def test_retries_multiply_send_cost(self):
+        model = EnergyModel()
+        sim = Simulator()
+        node = Node(sim, 0, manet_ip(0))
+        pkt = packet("192.168.0.2")
+        model.on_send(node, pkt, attempts=3)
+        single = EnergyModel()
+        single.on_send(node, pkt, attempts=1)
+        assert model.spent_uj(node.ip) == pytest.approx(3 * single.spent_uj(node.ip))
+
+    def test_reporting_totals(self):
+        model = EnergyModel()
+        sim = Simulator()
+        a = Node(sim, 0, manet_ip(0))
+        b = Node(sim, 1, manet_ip(1))
+        model.on_send(a, packet(BROADCAST))
+        model.on_receive_broadcast(b, packet(BROADCAST))
+        per_node = model.per_node_joules()
+        assert per_node[a.ip] > per_node[b.ip] > 0
+        assert model.total_joules() == pytest.approx(sum(per_node.values()))
+        assert model.max_node_joules() == pytest.approx(per_node[a.ip])
+
+
+class TestMediumIntegration:
+    def test_broadcast_bills_sender_and_all_receivers(self, sim):
+        energy, medium, nodes = build(sim, [(0, 0), (50, 0), (90, 0)])
+        medium.broadcast(nodes[0], packet(BROADCAST))
+        assert energy.spent_uj(nodes[0].ip) > 0  # sender
+        assert energy.spent_uj(nodes[1].ip) > 0  # both neighbors
+        assert energy.spent_uj(nodes[2].ip) > 0
+
+    def test_unicast_bills_bystanders_with_discard_cost(self, sim):
+        energy, medium, nodes = build(sim, [(0, 0), (50, 0), (90, 0)])
+        medium.unicast(nodes[0], nodes[1].ip, packet(nodes[1].ip))
+        receiver_cost = energy.spent_uj(nodes[1].ip)
+        bystander_cost = energy.spent_uj(nodes[2].ip)
+        assert receiver_cost > bystander_cost > 0
+
+    def test_lossy_unicast_costs_more_than_clean(self):
+        def run(loss):
+            sim = Simulator(seed=9)
+            energy, medium, nodes = build(
+                sim, [(0, 0), (50, 0)], loss_rate=loss, mac_retries=6
+            )
+            for _ in range(50):
+                medium.unicast(nodes[0], nodes[1].ip, packet(nodes[1].ip))
+            return energy.spent_uj(nodes[0].ip)
+
+        assert run(0.4) > run(0.0)
+
+    def test_no_energy_model_by_default(self, sim, medium):
+        assert medium.energy is None  # opt-in: zero cost when not measuring

@@ -1,0 +1,79 @@
+"""Unit tests for the Reference Point Group Mobility model."""
+
+import math
+
+import pytest
+
+from repro.netsim import Node, ReferencePointGroupMobility, Simulator, manet_ip
+
+
+def make_nodes(sim, count, base=0):
+    return [Node(sim, base + i, manet_ip(base + i)) for i in range(count)]
+
+
+class TestRpgm:
+    def test_members_stay_near_their_center(self, sim):
+        group_a = make_nodes(sim, 4)
+        group_b = make_nodes(sim, 4, base=10)
+        mobility = ReferencePointGroupMobility(
+            sim, [group_a, group_b], 500.0, 500.0, group_radius=40.0, pause_time=0.0
+        ).start()
+        for step in range(20):
+            sim.run(sim.now + 5.0)
+            for index, group in enumerate((group_a, group_b)):
+                cx, cy = mobility.group_center(index)
+                for node in group:
+                    x, y = node.position
+                    # Within radius unless clamped at the area boundary.
+                    interior = 40.0 < cx < 460.0 and 40.0 < cy < 460.0
+                    if interior:
+                        assert math.hypot(x - cx, y - cy) <= 40.0 + 1e-6
+        mobility.stop()
+
+    def test_groups_move_coherently(self, sim):
+        group = make_nodes(sim, 5)
+        for node in group:
+            node.position = (250.0, 250.0)
+        mobility = ReferencePointGroupMobility(
+            sim, [group], 1000.0, 1000.0, min_speed=2.0, max_speed=3.0,
+            group_radius=30.0, pause_time=0.0,
+        ).start()
+        sim.run(60.0)
+        positions = [node.position for node in group]
+        # The whole group travelled together: max pairwise spread bounded.
+        spread = max(
+            math.hypot(a[0] - b[0], a[1] - b[1]) for a in positions for b in positions
+        )
+        assert spread <= 2 * 30.0 + 1e-6
+        # ...and it actually travelled.
+        assert any(math.hypot(x - 250.0, y - 250.0) > 20.0 for x, y in positions)
+        mobility.stop()
+
+    def test_nodes_stay_in_area(self, sim):
+        group = make_nodes(sim, 3)
+        mobility = ReferencePointGroupMobility(
+            sim, [group], 100.0, 100.0, group_radius=50.0, pause_time=0.0
+        ).start()
+        sim.run(120.0)
+        for node in group:
+            assert 0.0 <= node.position[0] <= 100.0
+            assert 0.0 <= node.position[1] <= 100.0
+        mobility.stop()
+
+    def test_invalid_parameters_rejected(self, sim):
+        group = make_nodes(sim, 2)
+        with pytest.raises(ValueError):
+            ReferencePointGroupMobility(sim, [group], 100, 100, min_speed=0)
+        with pytest.raises(ValueError):
+            ReferencePointGroupMobility(sim, [group], 100, 100, group_radius=0)
+
+    def test_stop_freezes(self, sim):
+        group = make_nodes(sim, 3)
+        mobility = ReferencePointGroupMobility(
+            sim, [group], 500.0, 500.0, min_speed=3.0, max_speed=3.0, pause_time=0.0
+        ).start()
+        sim.run(10.0)
+        mobility.stop()
+        frozen = [node.position for node in group]
+        sim.run(30.0)
+        assert [node.position for node in group] == frozen

@@ -1,0 +1,114 @@
+"""Unit tests for the Internet cloud and DNS."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.netsim import (
+    Datagram,
+    InternetCloud,
+    Node,
+    Packet,
+    Simulator,
+    make_internet_host,
+    manet_ip,
+)
+
+
+class TestAttachment:
+    def test_attach_assigns_wired_ip_and_default_route(self, sim):
+        cloud = InternetCloud(sim)
+        node = Node(sim, 0, manet_ip(0))
+        ip = cloud.attach(node)
+        assert node.wired_ip == ip
+        assert node.has_default_route()
+        assert cloud.is_attached(ip)
+
+    def test_detach_removes_everything(self, sim):
+        cloud = InternetCloud(sim)
+        node = Node(sim, 0, manet_ip(0))
+        ip = cloud.attach(node)
+        cloud.detach(node)
+        assert node.wired_ip is None
+        assert not node.has_default_route()
+        assert not cloud.is_attached(ip)
+
+    def test_duplicate_attach_rejected(self, sim):
+        cloud = InternetCloud(sim)
+        a = Node(sim, 0, manet_ip(0))
+        b = Node(sim, 1, manet_ip(1))
+        ip = cloud.attach(a)
+        with pytest.raises(NetworkError):
+            cloud.attach(b, ip=ip)
+
+    def test_virtual_endpoint(self, sim):
+        cloud = InternetCloud(sim)
+        got = []
+        cloud.attach_endpoint("10.9.9.9", got.append)
+        cloud.send(Packet("10.1.1.1", "10.9.9.9", Datagram(1, 2, b"x")))
+        sim.run(1.0)
+        assert len(got) == 1
+        cloud.detach_endpoint("10.9.9.9")
+        cloud.send(Packet("10.1.1.1", "10.9.9.9", Datagram(1, 2, b"x")))
+        sim.run(2.0)
+        assert len(got) == 1
+
+
+class TestForwarding:
+    def test_host_to_host_delivery(self, sim):
+        cloud = InternetCloud(sim)
+        a = make_internet_host(sim, cloud, "a.example")
+        b = make_internet_host(sim, cloud, "b.example")
+        got = []
+        b.bind(5000, lambda data, src, sport: got.append((data, src)))
+        a.send_udp(b.wired_ip, 4000, 5000, b"hello internet")
+        sim.run(1.0)
+        assert got == [(b"hello internet", a.wired_ip)]
+
+    def test_unknown_destination_counted(self, sim):
+        cloud = InternetCloud(sim)
+        cloud.send(Packet("10.1.1.1", "10.250.250.1", Datagram(1, 2, b"x")))
+        assert cloud.stats.count("internet.unroutable") == 1
+
+    def test_latency_applied(self, sim):
+        cloud = InternetCloud(sim, latency=0.1, jitter=0.0)
+        a = make_internet_host(sim, cloud, "a")
+        b = make_internet_host(sim, cloud, "b")
+        arrivals = []
+        b.bind(5000, lambda data, src, sport: arrivals.append(sim.now))
+        a.send_udp(b.wired_ip, 4000, 5000, b"x")
+        sim.run(1.0)
+        assert arrivals[0] >= 0.1
+
+    def test_loss_rate(self, sim):
+        cloud = InternetCloud(sim, loss_rate=1.0)
+        a = make_internet_host(sim, cloud, "a")
+        b = make_internet_host(sim, cloud, "b")
+        got = []
+        b.bind(5000, lambda data, src, sport: got.append(data))
+        a.send_udp(b.wired_ip, 4000, 5000, b"x")
+        sim.run(1.0)
+        assert got == []
+
+
+class TestDns:
+    def test_register_resolve(self, sim):
+        cloud = InternetCloud(sim)
+        cloud.dns.register("Example.COM", "10.0.0.1")
+        assert cloud.dns.resolve("example.com") == "10.0.0.1"
+        assert cloud.dns.resolve("EXAMPLE.com") == "10.0.0.1"
+
+    def test_unknown_domain(self, sim):
+        cloud = InternetCloud(sim)
+        assert cloud.dns.resolve("nope.invalid") is None
+
+    def test_unregister(self, sim):
+        cloud = InternetCloud(sim)
+        cloud.dns.register("x.com", "10.0.0.1")
+        cloud.dns.unregister("x.com")
+        assert cloud.dns.resolve("x.com") is None
+
+    def test_domains_listing(self, sim):
+        cloud = InternetCloud(sim)
+        cloud.dns.register("b.com", "10.0.0.2")
+        cloud.dns.register("a.com", "10.0.0.1")
+        assert cloud.dns.domains() == ["a.com", "b.com"]

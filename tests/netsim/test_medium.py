@@ -1,0 +1,155 @@
+"""Unit tests for the wireless medium."""
+
+import pytest
+
+from repro.netsim import (
+    BROADCAST,
+    CapturedFrame,
+    Datagram,
+    Node,
+    Packet,
+    Simulator,
+    Stats,
+    WirelessMedium,
+    manet_ip,
+)
+
+
+def make_nodes(sim, medium, positions):
+    nodes = []
+    for index, position in enumerate(positions):
+        node = Node(sim, index, manet_ip(index), position=position, stats=medium.stats)
+        node.join_medium(medium)
+        nodes.append(node)
+    return nodes
+
+
+def packet_to(dst, data=b"payload"):
+    return Packet("192.168.0.1", dst, Datagram(1000, 2000, data))
+
+
+class TestTopology:
+    def test_neighbors_respect_range(self, sim):
+        medium = WirelessMedium(sim, tx_range=100.0)
+        a, b, c = make_nodes(sim, medium, [(0, 0), (90, 0), (180, 0)])
+        assert medium.neighbors(a) == [b]
+        assert set(medium.neighbors(b)) == {a, c}
+
+    def test_duplicate_ip_rejected(self, sim):
+        medium = WirelessMedium(sim)
+        node = Node(sim, 0, manet_ip(0))
+        node.join_medium(medium)
+        clone = Node(sim, 1, manet_ip(0))
+        with pytest.raises(ValueError):
+            clone.join_medium(medium)
+
+    def test_node_by_ip(self, sim):
+        medium = WirelessMedium(sim)
+        (a,) = make_nodes(sim, medium, [(0, 0)])
+        assert medium.node_by_ip(a.ip) is a
+        assert medium.node_by_ip("10.9.9.9") is None
+
+
+class TestBroadcast:
+    def test_broadcast_reaches_all_in_range(self, sim):
+        medium = WirelessMedium(sim, tx_range=100.0)
+        a, b, c = make_nodes(sim, medium, [(0, 0), (50, 0), (99, 0)])
+        got = []
+        b.bind(2000, lambda data, src, sport: got.append(("b", data)))
+        c.bind(2000, lambda data, src, sport: got.append(("c", data)))
+        medium.broadcast(a, packet_to(BROADCAST))
+        sim.run(1.0)
+        assert sorted(tag for tag, _ in got) == ["b", "c"]
+
+    def test_broadcast_does_not_reach_out_of_range(self, sim):
+        medium = WirelessMedium(sim, tx_range=100.0)
+        a, b = make_nodes(sim, medium, [(0, 0), (500, 0)])
+        got = []
+        b.bind(2000, lambda data, src, sport: got.append(data))
+        medium.broadcast(a, packet_to(BROADCAST))
+        sim.run(1.0)
+        assert got == []
+
+    def test_full_loss_drops_everything(self, sim):
+        medium = WirelessMedium(sim, tx_range=100.0, loss_rate=1.0)
+        a, b = make_nodes(sim, medium, [(0, 0), (50, 0)])
+        got = []
+        b.bind(2000, lambda data, src, sport: got.append(data))
+        medium.broadcast(a, packet_to(BROADCAST))
+        sim.run(1.0)
+        assert got == []
+
+
+class TestUnicast:
+    def test_unicast_delivers_to_next_hop(self, sim):
+        medium = WirelessMedium(sim, tx_range=100.0)
+        a, b = make_nodes(sim, medium, [(0, 0), (50, 0)])
+        got = []
+        b.bind(2000, lambda data, src, sport: got.append(data))
+        medium.unicast(a, b.ip, packet_to(b.ip))
+        sim.run(1.0)
+        assert got == [b"payload"]
+
+    def test_unicast_out_of_range_triggers_link_failure(self, sim):
+        medium = WirelessMedium(sim, tx_range=100.0)
+        a, b = make_nodes(sim, medium, [(0, 0), (500, 0)])
+        failures = []
+        medium.unicast(a, b.ip, packet_to(b.ip), lambda hop, pkt: failures.append(hop))
+        sim.run(1.0)
+        assert failures == [b.ip]
+        assert medium.stats.count("medium.unicast_failures") == 1
+
+    def test_mac_retries_beat_moderate_loss(self, sim):
+        medium = WirelessMedium(sim, tx_range=100.0, loss_rate=0.4, mac_retries=6)
+        a, b = make_nodes(sim, medium, [(0, 0), (50, 0)])
+        got = []
+        b.bind(2000, lambda data, src, sport: got.append(data))
+        for _ in range(20):
+            medium.unicast(a, b.ip, packet_to(b.ip))
+        sim.run(5.0)
+        assert len(got) >= 18  # P(all 7 attempts lost) = 0.4^7 ~ 0.16%
+
+    def test_delay_scales_with_size(self, sim):
+        medium = WirelessMedium(sim, tx_range=100.0, bitrate=1_000_000, jitter=0.0)
+        a, b = make_nodes(sim, medium, [(0, 0), (50, 0)])
+        arrivals = []
+        b.bind(2000, lambda data, src, sport: arrivals.append(sim.now))
+        medium.unicast(a, b.ip, packet_to(b.ip, b"x"))
+        sim.run(1.0)
+        small = arrivals[-1]
+        start = sim.now
+        medium.unicast(a, b.ip, packet_to(b.ip, b"x" * 10000))
+        sim.run(sim.now + 1.0)
+        big = arrivals[-1] - start
+        assert big > small
+
+
+class TestSniffers:
+    def test_sniffer_sees_all_transmissions(self, sim):
+        medium = WirelessMedium(sim, tx_range=100.0)
+        a, b = make_nodes(sim, medium, [(0, 0), (50, 0)])
+        frames: list[CapturedFrame] = []
+        medium.add_sniffer(frames.append)
+        medium.broadcast(a, packet_to(BROADCAST))
+        medium.unicast(a, b.ip, packet_to(b.ip))
+        sim.run(1.0)
+        assert len(frames) == 2
+        assert frames[0].receiver_ip == "*"
+        assert frames[1].receiver_ip == b.ip
+
+    def test_remove_sniffer(self, sim):
+        medium = WirelessMedium(sim, tx_range=100.0)
+        a, b = make_nodes(sim, medium, [(0, 0), (50, 0)])
+        frames = []
+        medium.add_sniffer(frames.append)
+        medium.remove_sniffer(frames.append)
+        medium.broadcast(a, packet_to(BROADCAST))
+        assert frames == []
+
+    def test_traffic_accounted_per_class(self, sim):
+        stats = Stats()
+        medium = WirelessMedium(sim, stats=stats, tx_range=100.0)
+        a, b = make_nodes(sim, medium, [(0, 0), (50, 0)])
+        medium.unicast(a, b.ip, Packet(a.ip, b.ip, Datagram(654, 654, b"r")))
+        assert stats.traffic_packets("aodv") == 1
+        assert stats.traffic_packets("total") == 1

@@ -1,0 +1,126 @@
+"""Unit tests for placement helpers and the random waypoint model."""
+
+import math
+
+import pytest
+
+from repro.netsim import (
+    Node,
+    RandomWaypointMobility,
+    Simulator,
+    WirelessMedium,
+    manet_ip,
+    place_chain,
+    place_grid,
+    place_random,
+)
+
+
+def make_plain_nodes(sim, count):
+    return [Node(sim, i, manet_ip(i)) for i in range(count)]
+
+
+class TestPlacement:
+    def test_chain_spacing(self, sim):
+        nodes = make_plain_nodes(sim, 4)
+        place_chain(nodes, 120.0)
+        xs = [node.position[0] for node in nodes]
+        assert xs == [0.0, 120.0, 240.0, 360.0]
+        assert all(node.position[1] == 0.0 for node in nodes)
+
+    def test_grid_is_square_ish(self, sim):
+        nodes = make_plain_nodes(sim, 9)
+        place_grid(nodes, 50.0)
+        positions = {node.position for node in nodes}
+        assert len(positions) == 9
+        assert max(p[0] for p in positions) == 100.0
+        assert max(p[1] for p in positions) == 100.0
+
+    def test_grid_explicit_columns(self, sim):
+        nodes = make_plain_nodes(sim, 4)
+        place_grid(nodes, 10.0, columns=2)
+        assert nodes[2].position == (0.0, 10.0)
+
+    def test_random_within_bounds(self, sim):
+        nodes = make_plain_nodes(sim, 20)
+        place_random(nodes, sim, 300.0, 200.0)
+        for node in nodes:
+            assert 0 <= node.position[0] <= 300
+            assert 0 <= node.position[1] <= 200
+
+
+class TestRandomWaypoint:
+    def test_nodes_stay_in_area(self, sim):
+        nodes = make_plain_nodes(sim, 5)
+        place_random(nodes, sim, 100.0, 100.0)
+        mob = RandomWaypointMobility(sim, nodes, 100.0, 100.0, pause_time=0.0).start()
+        sim.run(120.0)
+        for node in nodes:
+            assert -1 <= node.position[0] <= 101
+            assert -1 <= node.position[1] <= 101
+        mob.stop()
+
+    def test_nodes_actually_move(self, sim):
+        nodes = make_plain_nodes(sim, 3)
+        place_random(nodes, sim, 500.0, 500.0)
+        before = [node.position for node in nodes]
+        mob = RandomWaypointMobility(
+            sim, nodes, 500.0, 500.0, min_speed=2.0, max_speed=5.0, pause_time=0.0
+        ).start()
+        sim.run(30.0)
+        after = [node.position for node in nodes]
+        moved = sum(
+            1
+            for (x0, y0), (x1, y1) in zip(before, after)
+            if math.hypot(x1 - x0, y1 - y0) > 1.0
+        )
+        assert moved == 3
+        mob.stop()
+
+    def test_speed_bounds_respected(self, sim):
+        nodes = make_plain_nodes(sim, 1)
+        nodes[0].position = (0.0, 0.0)
+        mob = RandomWaypointMobility(
+            sim, nodes, 1000.0, 1000.0, min_speed=1.0, max_speed=2.0,
+            pause_time=0.0, tick=0.5,
+        ).start()
+        previous = nodes[0].position
+        max_step = 0.0
+        for _ in range(100):
+            sim.run(sim.now + 0.5)
+            x, y = nodes[0].position
+            max_step = max(max_step, math.hypot(x - previous[0], y - previous[1]))
+            previous = (x, y)
+        assert max_step <= 2.0 * 0.5 + 1e-6
+        mob.stop()
+
+    def test_stop_freezes_positions(self, sim):
+        nodes = make_plain_nodes(sim, 2)
+        mob = RandomWaypointMobility(
+            sim, nodes, 100.0, 100.0, min_speed=5.0, max_speed=5.0, pause_time=0.0
+        ).start()
+        sim.run(5.0)
+        mob.stop()
+        frozen = [node.position for node in nodes]
+        sim.run(20.0)
+        assert [node.position for node in nodes] == frozen
+
+    def test_invalid_speeds_rejected(self, sim):
+        nodes = make_plain_nodes(sim, 1)
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(sim, nodes, 10, 10, min_speed=0.0, max_speed=1.0)
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(sim, nodes, 10, 10, min_speed=2.0, max_speed=1.0)
+
+    def test_mobility_changes_neighborhoods(self, sim):
+        medium = WirelessMedium(sim, tx_range=60.0)
+        nodes = []
+        for i in range(2):
+            node = Node(sim, i, manet_ip(i))
+            node.join_medium(medium)
+            nodes.append(node)
+        nodes[0].position = (0.0, 0.0)
+        nodes[1].position = (50.0, 0.0)
+        assert medium.in_range(nodes[0], nodes[1])
+        nodes[1].position = (500.0, 0.0)
+        assert not medium.in_range(nodes[0], nodes[1])

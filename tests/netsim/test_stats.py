@@ -1,0 +1,87 @@
+"""Unit tests for the measurement registry."""
+
+import math
+
+from repro.netsim import SampleSeries, Stats
+from repro.netsim.stats import traffic_class_for_port
+
+
+class TestTrafficClasses:
+    def test_well_known_ports(self):
+        assert traffic_class_for_port(654) == "aodv"
+        assert traffic_class_for_port(698) == "olsr"
+        assert traffic_class_for_port(5060) == "sip"
+        assert traffic_class_for_port(427) == "slp"
+
+    def test_rtp_range(self):
+        assert traffic_class_for_port(16384) == "rtp"
+        assert traffic_class_for_port(30000) == "rtp"
+
+    def test_siphoc_and_baseline_ports(self):
+        assert traffic_class_for_port(5062) == "siphoc"
+        assert traffic_class_for_port(5063) == "siphoc"
+        assert traffic_class_for_port(5065) == "flooding-register"
+        assert traffic_class_for_port(5066) == "proactive-hello"
+
+    def test_softphone_ports_are_sip(self):
+        assert traffic_class_for_port(5070) == "sip"
+
+    def test_unknown_port(self):
+        assert traffic_class_for_port(12345) == "other"
+
+
+class TestStats:
+    def test_transmission_counts_class_and_total(self):
+        stats = Stats()
+        stats.record_transmission(654, 100)
+        stats.record_transmission(654, 50)
+        stats.record_transmission(5060, 200)
+        assert stats.traffic_bytes("aodv") == 150
+        assert stats.traffic_packets("aodv") == 2
+        assert stats.traffic_bytes("total") == 350
+        assert stats.traffic_packets("total") == 3
+
+    def test_counters(self):
+        stats = Stats()
+        stats.increment("x")
+        stats.increment("x", 4)
+        assert stats.count("x") == 5
+        assert stats.count("unknown") == 0
+
+    def test_summary_shape(self):
+        stats = Stats()
+        stats.record_transmission(654, 10)
+        stats.increment("c")
+        stats.sample("s", 1.0)
+        summary = stats.summary()
+        assert summary["traffic"]["aodv"] == {"packets": 1, "bytes": 10}
+        assert summary["counters"] == {"c": 1}
+        assert summary["samples"]["s"]["count"] == 1
+
+
+class TestSampleSeries:
+    def test_basic_stats(self):
+        series = SampleSeries()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            series.add(value)
+        assert series.mean == 2.5
+        assert series.minimum == 1.0
+        assert series.maximum == 4.0
+        assert series.count == 4
+
+    def test_stddev(self):
+        series = SampleSeries(values=[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert abs(series.stddev - 2.138) < 0.01
+
+    def test_empty_series(self):
+        series = SampleSeries()
+        assert math.isnan(series.mean)
+        assert math.isnan(series.percentile(50))
+        assert series.stddev == 0.0
+
+    def test_percentiles(self):
+        series = SampleSeries(values=[float(v) for v in range(1, 101)])
+        assert series.percentile(50) == 50.0
+        assert series.percentile(95) == 95.0
+        assert series.percentile(100) == 100.0
+        assert series.percentile(0) == 1.0

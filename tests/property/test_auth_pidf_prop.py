@@ -1,0 +1,73 @@
+"""Property-based tests for digest auth and PIDF codecs (hypothesis)."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SipParseError
+from repro.sip.auth import (
+    Credentials,
+    DigestAuthenticator,
+    make_challenge,
+    parse_auth_params,
+)
+from repro.sip.pidf import PresenceStatus, build_pidf, parse_pidf
+
+identifiers = st.text(string.ascii_letters + string.digits + ".-_", min_size=1, max_size=20)
+passwords = st.text(min_size=1, max_size=30).filter(lambda s: '"' not in s)
+notes = st.text(max_size=60).filter(lambda s: "]]>" not in s)
+
+
+class TestAuthProperties:
+    @settings(max_examples=50)
+    @given(identifiers, passwords, identifiers)
+    def test_correct_password_always_verifies(self, username, password, realm):
+        auth = DigestAuthenticator(realm)
+        auth.add_user(username, password)
+        challenge = auth.challenge(now=0.0)
+        value = Credentials(username, password).authorization_for(
+            challenge, "REGISTER", "sip:" + realm
+        )
+        assert auth.verify(value, "REGISTER", now=1.0)
+
+    @settings(max_examples=50)
+    @given(identifiers, passwords, passwords)
+    def test_wrong_password_never_verifies(self, username, real, wrong):
+        if real == wrong:
+            return
+        auth = DigestAuthenticator("r")
+        auth.add_user(username, real)
+        challenge = auth.challenge(now=0.0)
+        value = Credentials(username, wrong).authorization_for(challenge, "REGISTER", "sip:r")
+        assert not auth.verify(value, "REGISTER", now=1.0)
+
+    @given(st.text(max_size=100))
+    def test_param_parser_never_crashes(self, text):
+        result = parse_auth_params(text)
+        assert isinstance(result, dict)
+
+    @settings(max_examples=50)
+    @given(identifiers, identifiers)
+    def test_challenge_parses_back(self, realm, nonce):
+        params = parse_auth_params(make_challenge(realm, nonce))
+        assert params["realm"] == realm
+        assert params["nonce"] == nonce
+
+
+class TestPidfProperties:
+    @settings(max_examples=60)
+    @given(identifiers, st.sampled_from(["open", "closed"]), notes)
+    def test_round_trip(self, user, basic, note):
+        entity = f"sip:{user}@voicehoc.ch"
+        status = PresenceStatus(basic=basic, note=note)
+        parsed_entity, parsed_status = parse_pidf(build_pidf(entity, status))
+        assert parsed_entity == entity
+        assert parsed_status.basic == basic
+        assert parsed_status.note == note
+
+    @given(st.binary(max_size=150))
+    def test_parser_never_crashes(self, data):
+        try:
+            parse_pidf(data)
+        except SipParseError:
+            pass

@@ -1,0 +1,107 @@
+"""Property-based tests for the SIP grammar (hypothesis)."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SipParseError
+from repro.sip import Headers, SipRequest, SipResponse, SipUri, parse_message
+
+_user_chars = string.ascii_letters + string.digits + ".-_"
+_host_chars = string.ascii_lowercase + string.digits + ".-"
+
+users = st.text(_user_chars, min_size=1, max_size=16)
+hosts = st.from_regex(r"[a-z0-9]([a-z0-9\-]{0,10}[a-z0-9])?(\.[a-z0-9]{1,8}){0,3}", fullmatch=True)
+ports = st.integers(min_value=1, max_value=65535)
+methods = st.sampled_from(["INVITE", "ACK", "BYE", "CANCEL", "REGISTER", "OPTIONS"])
+header_values = st.text(
+    string.ascii_letters + string.digits + " .-_@:;=<>", min_size=1, max_size=40
+).map(str.strip).filter(bool)
+statuses = st.integers(min_value=100, max_value=699)
+
+
+@st.composite
+def sip_uris(draw):
+    user = draw(st.one_of(st.none(), users))
+    host = draw(hosts)
+    port = draw(st.one_of(st.none(), ports))
+    return SipUri(user=user, host=host, port=port)
+
+
+class TestUriProperties:
+    @given(sip_uris())
+    def test_round_trip(self, uri):
+        assert SipUri.parse(str(uri)) == uri
+
+    @given(sip_uris())
+    def test_aor_is_parseable_prefix(self, uri):
+        aor = SipUri.parse(uri.address_of_record)
+        assert aor.user == uri.user
+        assert aor.host == uri.host
+        assert aor.port is None
+
+    @given(st.text(max_size=30))
+    def test_parser_never_crashes(self, text):
+        try:
+            SipUri.parse(text)
+        except SipParseError:
+            pass  # the only acceptable failure mode
+
+
+@st.composite
+def sip_requests(draw):
+    method = draw(methods)
+    uri = draw(sip_uris())
+    headers = Headers()
+    headers.add("Via", f"SIP/2.0/UDP {draw(hosts)}:{draw(ports)};branch=z9hG4bK-{draw(st.integers(0, 9999))}")
+    headers.add("From", f"<sip:{draw(users)}@{draw(hosts)}>;tag={draw(users)}")
+    headers.add("To", f"<sip:{draw(users)}@{draw(hosts)}>")
+    headers.add("Call-ID", draw(users))
+    headers.add("CSeq", f"{draw(st.integers(1, 99999))} {method}")
+    for _ in range(draw(st.integers(0, 3))):
+        headers.add(draw(st.sampled_from(["Contact", "Route", "Record-Route", "Subject"])),
+                    draw(header_values))
+    body = draw(st.binary(max_size=64))
+    return SipRequest(method, uri, headers=headers, body=body)
+
+
+class TestMessageProperties:
+    @settings(max_examples=60)
+    @given(sip_requests())
+    def test_request_round_trip(self, request):
+        parsed = parse_message(request.serialize())
+        assert isinstance(parsed, SipRequest)
+        assert parsed.method == request.method
+        assert parsed.uri == request.uri
+        assert parsed.body == request.body
+        assert parsed.headers.get_all("Via") == request.headers.get_all("Via")
+
+    @settings(max_examples=60)
+    @given(sip_requests(), statuses)
+    def test_response_round_trip(self, request, status):
+        response = request.create_response(status, to_tag="prop")
+        parsed = parse_message(response.serialize())
+        assert isinstance(parsed, SipResponse)
+        assert parsed.status == status
+        assert parsed.call_id == request.call_id
+
+    @settings(max_examples=60)
+    @given(sip_requests())
+    def test_serialization_idempotent(self, request):
+        once = request.serialize()
+        again = parse_message(once).serialize()
+        assert once == again
+
+    @given(st.binary(max_size=200))
+    def test_parser_never_crashes_on_garbage(self, data):
+        try:
+            parse_message(data)
+        except SipParseError:
+            pass
+
+    @settings(max_examples=40)
+    @given(sip_requests())
+    def test_content_length_always_correct(self, request):
+        wire = request.serialize()
+        parsed = parse_message(wire)
+        assert int(parsed.headers.get("Content-Length")) == len(parsed.body)

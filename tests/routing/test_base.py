@@ -1,0 +1,59 @@
+"""Unit tests for the route table."""
+
+from repro.routing import Route, RouteTable
+
+
+class TestRouteTable:
+    def test_lookup_valid_route(self):
+        table = RouteTable()
+        table.upsert(Route("10.0.0.1", "10.0.0.2", hop_count=2, expires_at=100.0))
+        route = table.lookup("10.0.0.1", now=50.0)
+        assert route is not None and route.next_hop == "10.0.0.2"
+
+    def test_lookup_expired_route(self):
+        table = RouteTable()
+        table.upsert(Route("10.0.0.1", "10.0.0.2", hop_count=2, expires_at=100.0))
+        assert table.lookup("10.0.0.1", now=100.0) is None
+        # ... but the stale entry is still inspectable.
+        assert table.get("10.0.0.1") is not None
+
+    def test_invalidate(self):
+        table = RouteTable()
+        table.upsert(Route("10.0.0.1", "10.0.0.2", hop_count=1))
+        table.invalidate("10.0.0.1")
+        assert table.lookup("10.0.0.1", now=0.0) is None
+        assert not table.get("10.0.0.1").valid
+
+    def test_invalidate_missing_is_noop(self):
+        table = RouteTable()
+        assert table.invalidate("10.0.0.1") is None
+
+    def test_routes_via(self):
+        table = RouteTable()
+        table.upsert(Route("10.0.0.1", "10.0.0.9", hop_count=2))
+        table.upsert(Route("10.0.0.2", "10.0.0.9", hop_count=3))
+        table.upsert(Route("10.0.0.3", "10.0.0.8", hop_count=1))
+        via = table.routes_via("10.0.0.9", now=0.0)
+        assert {route.destination for route in via} == {"10.0.0.1", "10.0.0.2"}
+
+    def test_usable_routes_excludes_invalid(self):
+        table = RouteTable()
+        table.upsert(Route("10.0.0.1", "10.0.0.9", hop_count=2))
+        table.upsert(Route("10.0.0.2", "10.0.0.9", hop_count=3, valid=False))
+        assert len(table.usable_routes(now=0.0)) == 1
+
+    def test_upsert_replaces(self):
+        table = RouteTable()
+        table.upsert(Route("10.0.0.1", "10.0.0.2", hop_count=5))
+        table.upsert(Route("10.0.0.1", "10.0.0.3", hop_count=1))
+        assert table.lookup("10.0.0.1", now=0.0).next_hop == "10.0.0.3"
+        assert len(table) == 1
+
+    def test_remove_and_clear(self):
+        table = RouteTable()
+        table.upsert(Route("10.0.0.1", "10.0.0.2", hop_count=1))
+        table.upsert(Route("10.0.0.2", "10.0.0.2", hop_count=1))
+        table.remove("10.0.0.1")
+        assert table.destinations() == ["10.0.0.2"]
+        table.clear()
+        assert len(table) == 0

@@ -1,0 +1,52 @@
+"""Unit tests for the binary reader/writer helpers."""
+
+import pytest
+
+from repro.errors import CodecError
+from repro.routing.wire import Reader, Writer, decode_ip, encode_ip
+
+
+class TestIpCodec:
+    def test_round_trip(self):
+        assert decode_ip(encode_ip("192.168.0.1")) == "192.168.0.1"
+        assert decode_ip(encode_ip("0.0.0.0")) == "0.0.0.0"
+        assert decode_ip(encode_ip("255.255.255.255")) == "255.255.255.255"
+
+    @pytest.mark.parametrize("bad", ["", "1.2.3", "1.2.3.4.5", "a.b.c.d", "300.1.1.1"])
+    def test_invalid_addresses(self, bad):
+        with pytest.raises(CodecError):
+            encode_ip(bad)
+
+    def test_decode_truncated(self):
+        with pytest.raises(CodecError):
+            decode_ip(b"\x01\x02")
+
+
+class TestWriterReader:
+    def test_round_trip_all_types(self):
+        writer = Writer()
+        writer.u8(7).u16(1000).u32(70000).ip("10.1.2.3").raw(b"tail")
+        data = writer.getvalue()
+        reader = Reader(data)
+        assert reader.u8() == 7
+        assert reader.u16() == 1000
+        assert reader.u32() == 70000
+        assert reader.ip() == "10.1.2.3"
+        assert reader.rest() == b"tail"
+        assert reader.remaining == 0
+
+    def test_reader_bounds_checked(self):
+        reader = Reader(b"\x01")
+        reader.u8()
+        with pytest.raises(CodecError):
+            reader.u16()
+
+    def test_writer_len(self):
+        writer = Writer()
+        writer.u32(1).u8(2)
+        assert len(writer) == 5
+
+    def test_network_byte_order(self):
+        writer = Writer()
+        writer.u16(0x0102)
+        assert writer.getvalue() == b"\x01\x02"

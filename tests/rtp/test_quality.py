@@ -1,0 +1,109 @@
+"""Unit tests for jitter buffer and E-model scoring."""
+
+import pytest
+
+from repro.rtp import G711, G729, JitterBuffer, mos_from_r, r_factor, score_stream
+from repro.rtp.quality import delay_impairment, loss_impairment
+
+
+class TestJitterBuffer:
+    def make(self, playout=0.06):
+        return JitterBuffer(frame_interval=0.02, playout_delay=playout)
+
+    def test_on_time_frames_played(self):
+        buffer = self.make()
+        for index in range(10):
+            assert buffer.on_packet(index, arrival_time=index * 0.02)
+        assert buffer.stats.played == 10
+        assert buffer.stats.late_dropped == 0
+
+    def test_late_frame_dropped(self):
+        buffer = self.make(playout=0.05)
+        buffer.on_packet(0, arrival_time=0.0)
+        # Frame 1's slot is 0.0 + 0.05 + 0.02 = 0.07; it arrives at 0.5.
+        assert not buffer.on_packet(1, arrival_time=0.5)
+        assert buffer.stats.late_dropped == 1
+
+    def test_duplicate_counted_once(self):
+        buffer = self.make()
+        buffer.on_packet(5, arrival_time=0.0)
+        assert not buffer.on_packet(5, arrival_time=0.01)
+        assert buffer.stats.duplicates == 1
+        assert buffer.stats.played == 1
+
+    def test_sequence_wraparound(self):
+        buffer = self.make()
+        assert buffer.on_packet(0xFFFF, arrival_time=0.0)
+        assert buffer.on_packet(0, arrival_time=0.02)  # wraps to +1
+        assert buffer.stats.played == 2
+
+    def test_accounting_invariant(self):
+        buffer = self.make(playout=0.03)
+        import random
+
+        rng = random.Random(7)
+        for index in range(200):
+            buffer.on_packet(index, arrival_time=index * 0.02 + rng.uniform(0, 0.1))
+        stats = buffer.stats
+        assert stats.played + stats.late_dropped + stats.duplicates == stats.received
+
+
+class TestEModel:
+    def test_perfect_call_is_toll_quality(self):
+        assert r_factor(G711, one_way_delay_s=0.02, loss_ratio=0.0) > 90
+        assert mos_from_r(93.2) > 4.3
+
+    def test_delay_impairment_kicks_in_past_177ms(self):
+        low = delay_impairment(0.1)
+        high = delay_impairment(0.3)
+        assert high - low > 0.11 * (300 - 177.3) * 0.9
+
+    def test_mos_monotone_in_loss(self):
+        values = [
+            mos_from_r(r_factor(G711, 0.05, loss)) for loss in (0.0, 0.02, 0.05, 0.1, 0.2)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_mos_monotone_in_delay(self):
+        values = [
+            mos_from_r(r_factor(G711, delay, 0.0)) for delay in (0.02, 0.1, 0.2, 0.4)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_g729_baseline_below_g711(self):
+        assert r_factor(G729, 0.05, 0.0) < r_factor(G711, 0.05, 0.0)
+
+    def test_mos_bounds(self):
+        assert mos_from_r(0) == 1.0
+        assert mos_from_r(-10) == 1.0
+        assert mos_from_r(150) == 4.5
+
+    def test_loss_impairment_saturates(self):
+        assert loss_impairment(G711, 1.0) < 95.0
+        assert loss_impairment(G711, 0.0) == G711.ie
+
+
+class TestScoreStream:
+    def test_effective_loss_includes_late_drops(self):
+        quality = score_stream(
+            codec=G711,
+            packets_expected=100,
+            packets_received=95,  # 5 lost in the network
+            packets_played=90,  # 5 more late-dropped
+            delays=[0.05] * 95,
+            jitter=0.002,
+        )
+        assert quality.network_loss_ratio == pytest.approx(0.05)
+        assert quality.effective_loss_ratio == pytest.approx(0.10)
+        assert quality.mos < 4.2
+
+    def test_acceptable_threshold(self):
+        good = score_stream(G711, 100, 100, 100, [0.03] * 100, 0.001)
+        assert good.is_acceptable
+        bad = score_stream(G711, 100, 60, 55, [0.4] * 60, 0.05)
+        assert not bad.is_acceptable
+
+    def test_summary_is_readable(self):
+        quality = score_stream(G711, 10, 10, 10, [0.02] * 10, 0.0)
+        text = quality.summary()
+        assert "MOS=" in text and "PCMU" in text

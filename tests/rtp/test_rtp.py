@@ -1,0 +1,124 @@
+"""Unit tests for RTP packets, codecs and sessions."""
+
+import pytest
+
+from repro.errors import CodecError, ConfigError
+from repro.rtp import (
+    G711,
+    G729,
+    RtpPacket,
+    RtpSession,
+    codec_for_payload_type,
+    decode_rtp,
+    extract_send_time,
+    make_voice_payload,
+)
+from tests.conftest import make_chain
+
+
+class TestRtpPacketCodec:
+    def test_round_trip(self):
+        packet = RtpPacket(
+            payload_type=0, sequence=1234, timestamp=567890, ssrc=0xDEADBEEF,
+            payload=b"x" * 160, marker=True,
+        )
+        decoded = decode_rtp(packet.encode())
+        assert decoded == packet
+
+    def test_sequence_wraps_at_16_bits(self):
+        packet = RtpPacket(payload_type=0, sequence=0x1FFFF, timestamp=0, ssrc=1, payload=b"")
+        assert decode_rtp(packet.encode()).sequence == 0xFFFF
+
+    def test_size_includes_header(self):
+        packet = RtpPacket(payload_type=0, sequence=0, timestamp=0, ssrc=1, payload=b"x" * 20)
+        assert packet.size == 32
+
+    def test_too_short_rejected(self):
+        with pytest.raises(CodecError):
+            decode_rtp(b"\x80\x00\x00")
+
+    def test_wrong_version_rejected(self):
+        data = bytearray(RtpPacket(0, 0, 0, 1, b"").encode())
+        data[0] = 0x00  # version 0
+        with pytest.raises(CodecError):
+            decode_rtp(bytes(data))
+
+    def test_voice_payload_carries_timestamp(self):
+        payload = make_voice_payload(160, send_time=12.345)
+        assert len(payload) == 160
+        assert extract_send_time(payload) == 12.345
+
+    def test_tiny_frame_rejected(self):
+        with pytest.raises(CodecError):
+            make_voice_payload(4, send_time=0.0)
+
+
+class TestCodecs:
+    def test_g711_properties(self):
+        assert G711.frame_interval == 0.02
+        assert G711.frame_bytes == 160
+        assert G711.bitrate == 64000
+        assert G711.timestamp_increment == 160
+
+    def test_g729_properties(self):
+        assert G729.bitrate == 8000
+
+    def test_lookup_by_payload_type(self):
+        assert codec_for_payload_type(0) is G711
+        assert codec_for_payload_type(18) is G729
+        with pytest.raises(ConfigError):
+            codec_for_payload_type(99)
+
+
+class TestRtpSession:
+    def test_bidirectional_stream_and_measurement(self, sim, medium):
+        a, b = make_chain(sim, medium, 2, static_routes=True)
+        session_a = RtpSession(a, 16384, remote=(b.ip, 16384))
+        session_b = RtpSession(b, 16384, remote=(a.ip, 16384))
+        session_a.start_sending()
+        session_b.start_sending()
+        sim.run(10.0)
+        session_a.stop_sending()
+        session_b.stop_sending()
+        assert session_a.packets_sent == pytest.approx(500, abs=2)
+        assert session_b.packets_received >= 495
+        quality = session_b.quality()
+        assert quality.mos > 4.0
+        assert quality.mean_delay < 0.05
+
+    def test_no_remote_raises(self, sim, medium):
+        (a,) = make_chain(sim, medium, 1)
+        session = RtpSession(a, 16384)
+        with pytest.raises(CodecError):
+            session.start_sending()
+
+    def test_loss_degrades_quality(self, sim):
+        from repro.netsim import WirelessMedium
+        from tests.conftest import make_chain as chain
+
+        lossy = WirelessMedium(sim, tx_range=150.0, loss_rate=0.25, mac_retries=0)
+        a, b = chain(sim, lossy, 2, static_routes=True)
+        tx = RtpSession(a, 16384, remote=(b.ip, 16384))
+        rx = RtpSession(b, 16384)
+        tx.start_sending()
+        sim.run(20.0)
+        tx.stop_sending()
+        quality = rx.quality(expected_override=tx.packets_sent)
+        assert quality.network_loss_ratio > 0.1
+        assert quality.mos < 4.0
+
+    def test_expected_counts_from_sequence_numbers(self, sim, medium):
+        a, b = make_chain(sim, medium, 2, static_routes=True)
+        tx = RtpSession(a, 16384, remote=(b.ip, 16384))
+        rx = RtpSession(b, 16384)
+        tx.start_sending()
+        sim.run(2.0)
+        tx.stop_sending()
+        sim.run(3.0)
+        assert rx.packets_expected == rx.packets_received  # nothing lost
+
+    def test_close_releases_port(self, sim, medium):
+        (a,) = make_chain(sim, medium, 1)
+        session = RtpSession(a, 16384)
+        session.close()
+        RtpSession(a, 16384)  # no PortInUseError

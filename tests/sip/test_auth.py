@@ -1,0 +1,119 @@
+"""Unit tests for SIP digest authentication."""
+
+import pytest
+
+from repro.sip.auth import (
+    Credentials,
+    DigestAuthenticator,
+    digest_response,
+    make_authorization,
+    make_challenge,
+    parse_auth_params,
+)
+
+
+class TestDigestMath:
+    def test_rfc2617_worked_example_shape(self):
+        # Deterministic: same inputs, same response; different password differs.
+        a = digest_response("alice", "r", "pw", "REGISTER", "sip:h", "n1")
+        b = digest_response("alice", "r", "pw", "REGISTER", "sip:h", "n1")
+        c = digest_response("alice", "r", "other", "REGISTER", "sip:h", "n1")
+        assert a == b
+        assert a != c
+        assert len(a) == 32 and all(ch in "0123456789abcdef" for ch in a)
+
+    def test_response_binds_method_and_uri(self):
+        base = digest_response("u", "r", "p", "REGISTER", "sip:h", "n")
+        assert digest_response("u", "r", "p", "INVITE", "sip:h", "n") != base
+        assert digest_response("u", "r", "p", "REGISTER", "sip:other", "n") != base
+
+
+class TestHeaderCodec:
+    def test_challenge_round_trip(self):
+        params = parse_auth_params(make_challenge("siphoc.ch", "n42"))
+        assert params["realm"] == "siphoc.ch"
+        assert params["nonce"] == "n42"
+        assert params["algorithm"] == "MD5"
+
+    def test_authorization_round_trip(self):
+        value = make_authorization("alice", "r", "n1", "sip:h", "resp")
+        params = parse_auth_params(value)
+        assert params["username"] == "alice"
+        assert params["response"] == "resp"
+        assert params["uri"] == "sip:h"
+
+    def test_quoted_commas_survive(self):
+        params = parse_auth_params('Digest realm="a,b", nonce="n"')
+        assert params["realm"] == "a,b"
+
+    def test_garbage_tolerated(self):
+        assert parse_auth_params("Digest ===,,,") == {}
+
+
+class TestCredentials:
+    def test_answers_challenge(self):
+        creds = Credentials("alice", "pw")
+        challenge = make_challenge("siphoc.ch", "n7")
+        value = creds.authorization_for(challenge, "REGISTER", "sip:siphoc.ch")
+        params = parse_auth_params(value)
+        assert params["response"] == digest_response(
+            "alice", "siphoc.ch", "pw", "REGISTER", "sip:siphoc.ch", "n7"
+        )
+
+    def test_unusable_challenge_returns_none(self):
+        creds = Credentials("alice", "pw")
+        assert creds.authorization_for("Digest realm=only", "REGISTER", "sip:h") is None
+
+
+class TestAuthenticator:
+    def test_accepts_valid_response(self):
+        auth = DigestAuthenticator("siphoc.ch")
+        auth.add_user("alice", "pw")
+        challenge = auth.challenge(now=0.0)
+        creds = Credentials("alice", "pw")
+        value = creds.authorization_for(challenge, "REGISTER", "sip:siphoc.ch")
+        assert auth.verify(value, "REGISTER", now=1.0)
+
+    def test_rejects_wrong_password(self):
+        auth = DigestAuthenticator("siphoc.ch")
+        auth.add_user("alice", "pw")
+        challenge = auth.challenge(now=0.0)
+        value = Credentials("alice", "WRONG").authorization_for(
+            challenge, "REGISTER", "sip:siphoc.ch"
+        )
+        assert not auth.verify(value, "REGISTER", now=1.0)
+
+    def test_rejects_unknown_user(self):
+        auth = DigestAuthenticator("siphoc.ch")
+        challenge = auth.challenge(now=0.0)
+        value = Credentials("mallory", "x").authorization_for(
+            challenge, "REGISTER", "sip:siphoc.ch"
+        )
+        assert not auth.verify(value, "REGISTER", now=1.0)
+
+    def test_rejects_expired_nonce(self):
+        auth = DigestAuthenticator("siphoc.ch")
+        auth.add_user("alice", "pw")
+        challenge = auth.challenge(now=0.0)
+        value = Credentials("alice", "pw").authorization_for(
+            challenge, "REGISTER", "sip:siphoc.ch"
+        )
+        assert not auth.verify(value, "REGISTER", now=auth.NONCE_LIFETIME + 1.0)
+
+    def test_rejects_forged_nonce(self):
+        auth = DigestAuthenticator("siphoc.ch")
+        auth.add_user("alice", "pw")
+        value = make_authorization(
+            "alice", "siphoc.ch", "made-up-nonce", "sip:h",
+            digest_response("alice", "siphoc.ch", "pw", "REGISTER", "sip:h", "made-up-nonce"),
+        )
+        assert not auth.verify(value, "REGISTER", now=1.0)
+
+    def test_rejects_method_mismatch(self):
+        auth = DigestAuthenticator("siphoc.ch")
+        auth.add_user("alice", "pw")
+        challenge = auth.challenge(now=0.0)
+        value = Credentials("alice", "pw").authorization_for(
+            challenge, "REGISTER", "sip:siphoc.ch"
+        )
+        assert not auth.verify(value, "INVITE", now=1.0)

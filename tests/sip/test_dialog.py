@@ -1,0 +1,120 @@
+"""Unit tests for SIP dialog state."""
+
+import pytest
+
+from repro.errors import SipDialogError
+from repro.sip import Dialog, Headers, SipRequest, SipUri
+
+
+def make_invite(record_routes=()):
+    headers = Headers()
+    headers.add("From", '"Alice" <sip:alice@voicehoc.ch>;tag=atag')
+    headers.add("To", "<sip:bob@voicehoc.ch>")
+    headers.add("Call-ID", "cid-1")
+    headers.add("CSeq", "1 INVITE")
+    headers.add("Contact", "<sip:alice@192.168.0.1:5070>")
+    for rr in record_routes:
+        headers.add("Record-Route", rr)
+    return SipRequest("INVITE", "sip:bob@voicehoc.ch", headers=headers)
+
+
+def make_200(invite, contact="<sip:bob@192.168.0.5:5070>"):
+    response = invite.create_response(200, to_tag="btag")
+    response.headers.add("Contact", contact)
+    return response
+
+
+class TestDialogCreation:
+    def test_uac_dialog_from_response(self):
+        invite = make_invite()
+        dialog = Dialog.from_response(invite, make_200(invite))
+        assert dialog.local_tag == "atag"
+        assert dialog.remote_tag == "btag"
+        assert dialog.call_id == "cid-1"
+        assert dialog.remote_target.host == "192.168.0.5"
+        assert dialog.local_seq == 1
+
+    def test_uas_dialog_from_request(self):
+        invite = make_invite()
+        dialog = Dialog.from_request(invite, "btag", SipUri.parse("sip:bob@192.168.0.5:5070"))
+        assert dialog.local_tag == "btag"
+        assert dialog.remote_tag == "atag"
+        assert dialog.remote_target.host == "192.168.0.1"
+        assert dialog.remote_seq == 1
+
+    def test_uac_route_set_reversed(self):
+        invite = make_invite(record_routes=["<sip:p1:5060;lr>", "<sip:p2:5060;lr>"])
+        dialog = Dialog.from_response(invite, make_200(invite))
+        assert [u.host for u in dialog.route_set] == ["p2", "p1"]
+
+    def test_uas_route_set_in_order(self):
+        invite = make_invite(record_routes=["<sip:p1:5060;lr>", "<sip:p2:5060;lr>"])
+        dialog = Dialog.from_request(invite, "btag", SipUri.parse("sip:b@h"))
+        assert [u.host for u in dialog.route_set] == ["p1", "p2"]
+
+    def test_missing_tags_rejected(self):
+        invite = make_invite()
+        bare = invite.create_response(200)  # no to tag
+        with pytest.raises(SipDialogError):
+            Dialog.from_response(invite, bare)
+
+
+class TestInDialogRequests:
+    def make_dialog(self, record_routes=()):
+        invite = make_invite(record_routes=record_routes)
+        return Dialog.from_response(invite, make_200(invite))
+
+    def test_bye_structure(self):
+        dialog = self.make_dialog()
+        bye = dialog.create_request("BYE")
+        assert bye.method == "BYE"
+        assert bye.cseq.number == 2  # INVITE was 1
+        assert bye.call_id == "cid-1"
+        assert bye.from_.tag == "atag"
+        assert bye.to.tag == "btag"
+        assert bye.uri.host == "192.168.0.5"
+
+    def test_cseq_increments(self):
+        dialog = self.make_dialog()
+        first = dialog.create_request("BYE")
+        second = dialog.create_request("INFO")
+        assert second.cseq.number == first.cseq.number + 1
+
+    def test_explicit_cseq_for_ack(self):
+        dialog = self.make_dialog()
+        ack = dialog.create_request("ACK", cseq_number=1)
+        assert ack.cseq.number == 1
+        assert dialog.local_seq == 1  # not bumped
+
+    def test_route_headers_copied(self):
+        dialog = self.make_dialog(record_routes=["<sip:p1:5060;lr>", "<sip:p2:5060;lr>"])
+        bye = dialog.create_request("BYE")
+        assert [r.uri.host for r in bye.routes()] == ["p2", "p1"]
+
+    def test_next_hop_prefers_route_set(self):
+        dialog = self.make_dialog(record_routes=["<sip:p1:5080;lr>"])
+        assert dialog.next_hop() == ("p1", 5080)
+
+    def test_next_hop_falls_back_to_remote_target(self):
+        dialog = self.make_dialog()
+        assert dialog.next_hop() == ("192.168.0.5", 5070)
+
+
+class TestDialogMatching:
+    def test_matches_in_dialog_request(self):
+        invite = make_invite()
+        uas = Dialog.from_request(invite, "btag", SipUri.parse("sip:b@h"))
+        bye = SipRequest("BYE", "sip:bob@h")
+        bye.headers.add("From", "<sip:alice@voicehoc.ch>;tag=atag")
+        bye.headers.add("To", "<sip:bob@voicehoc.ch>;tag=btag")
+        bye.headers.add("Call-ID", "cid-1")
+        assert uas.matches_request(bye)
+
+    def test_wrong_call_id_rejected(self):
+        invite = make_invite()
+        uas = Dialog.from_request(invite, "btag", SipUri.parse("sip:b@h"))
+        bye = SipRequest("BYE", "sip:bob@h")
+        bye.headers.add("From", "<sip:alice@voicehoc.ch>;tag=atag")
+        bye.headers.add("To", "<sip:bob@voicehoc.ch>;tag=btag")
+        bye.headers.add("Call-ID", "other")
+        assert not uas.matches_request(bye)

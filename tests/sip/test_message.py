@@ -1,0 +1,197 @@
+"""Unit tests for SIP message grammar: parsing, serialization, headers."""
+
+import pytest
+
+from repro.errors import SipParseError
+from repro.sip import CSeq, Headers, SipRequest, SipResponse, Via, parse_message
+
+INVITE_WIRE = (
+    b"INVITE sip:bob@voicehoc.ch SIP/2.0\r\n"
+    b"Via: SIP/2.0/UDP 192.168.0.1:5070;branch=z9hG4bK-1\r\n"
+    b"From: \"Alice\" <sip:alice@voicehoc.ch>;tag=a1\r\n"
+    b"To: <sip:bob@voicehoc.ch>\r\n"
+    b"Call-ID: cid42@192.168.0.1\r\n"
+    b"CSeq: 1 INVITE\r\n"
+    b"Max-Forwards: 70\r\n"
+    b"Contact: <sip:alice@192.168.0.1:5070>\r\n"
+    b"Content-Type: application/sdp\r\n"
+    b"Content-Length: 4\r\n"
+    b"\r\n"
+    b"body"
+)
+
+
+class TestHeaders:
+    def test_case_insensitive_access(self):
+        headers = Headers()
+        headers.add("call-id", "x")
+        assert headers.get("Call-ID") == "x"
+        assert headers.get("CALL-id") == "x"
+        assert "call-Id" in headers
+
+    def test_multi_value_order(self):
+        headers = Headers()
+        headers.add("Via", "first")
+        headers.add("Via", "second")
+        assert headers.get("Via") == "first"
+        assert headers.get_all("Via") == ["first", "second"]
+
+    def test_insert_first(self):
+        headers = Headers()
+        headers.add("Via", "old")
+        headers.insert_first("Via", "new")
+        assert headers.get_all("Via") == ["new", "old"]
+
+    def test_insert_first_on_absent_header_appends(self):
+        headers = Headers()
+        headers.insert_first("Route", "<sip:p;lr>")
+        assert headers.get("Route") == "<sip:p;lr>"
+
+    def test_set_collapses_multiple(self):
+        headers = Headers()
+        headers.add("Via", "a")
+        headers.add("Via", "b")
+        headers.set("Via", "only")
+        assert headers.get_all("Via") == ["only"]
+
+    def test_remove_first_returns_value(self):
+        headers = Headers()
+        headers.add("Route", "r1")
+        headers.add("Route", "r2")
+        assert headers.remove_first("Route") == "r1"
+        assert headers.get_all("Route") == ["r2"]
+
+    def test_canonical_casing(self):
+        headers = Headers()
+        headers.add("cseq", "1 INVITE")
+        assert headers.items()[0][0] == "CSeq"
+
+
+class TestVia:
+    def test_parse_full(self):
+        via = Via.parse("SIP/2.0/UDP 192.168.0.1:5070;branch=z9hG4bK-7;rport")
+        assert via.host == "192.168.0.1"
+        assert via.port == 5070
+        assert via.branch == "z9hG4bK-7"
+        assert "rport" in via.params
+
+    def test_default_port(self):
+        assert Via.parse("SIP/2.0/UDP host.example").port == 5060
+
+    def test_round_trip(self):
+        text = "SIP/2.0/UDP 10.0.0.1:5060;branch=z9hG4bK-abc"
+        assert str(Via.parse(text)) == text
+
+    @pytest.mark.parametrize("bad", ["", "UDP 1.2.3.4", "HTTP/1.1/TCP x"])
+    def test_invalid(self, bad):
+        with pytest.raises(SipParseError):
+            Via.parse(bad)
+
+
+class TestCSeq:
+    def test_parse(self):
+        cseq = CSeq.parse("42 INVITE")
+        assert cseq.number == 42 and cseq.method == "INVITE"
+
+    def test_invalid(self):
+        with pytest.raises(SipParseError):
+            CSeq.parse("nope")
+
+
+class TestParsing:
+    def test_parse_request(self):
+        message = parse_message(INVITE_WIRE)
+        assert isinstance(message, SipRequest)
+        assert message.method == "INVITE"
+        assert message.uri.user == "bob"
+        assert message.call_id == "cid42@192.168.0.1"
+        assert message.cseq.number == 1
+        assert message.from_.tag == "a1"
+        assert message.to.tag is None
+        assert message.body == b"body"
+
+    def test_parse_response(self):
+        wire = (
+            b"SIP/2.0 180 Ringing\r\n"
+            b"Via: SIP/2.0/UDP h:5060;branch=z9hG4bK-1\r\n"
+            b"Call-ID: x\r\nCSeq: 1 INVITE\r\n\r\n"
+        )
+        message = parse_message(wire)
+        assert isinstance(message, SipResponse)
+        assert message.status == 180
+        assert message.reason == "Ringing"
+        assert message.is_provisional and not message.is_final
+
+    def test_serialize_parse_round_trip(self):
+        message = parse_message(INVITE_WIRE)
+        again = parse_message(message.serialize())
+        assert again.method == "INVITE"
+        assert again.headers.items() == message.headers.items()
+        assert again.body == message.body
+
+    def test_content_length_updated_on_serialize(self):
+        request = SipRequest("OPTIONS", "sip:h")
+        request.body = b"12345"
+        wire = request.serialize()
+        assert b"Content-Length: 5" in wire
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            b"",
+            b"\r\n\r\n",
+            b"INVITE sip:x\r\n\r\n",  # missing version
+            b"INVITE sip:x SIP/2.0\r\nBroken Header Line\r\n\r\n",
+            b"SIP/2.0 banana OK\r\n\r\n",
+            b"SIP/2.0 999999 OK\r\n\r\n",
+            b"invite sip:x SIP/2.0\r\n\r\n",  # lowercase method
+            b"\xff\xfe INVITE",
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(SipParseError):
+            parse_message(bad)
+
+    def test_transaction_key_ack_maps_to_invite(self):
+        request = SipRequest("ACK", "sip:h")
+        request.headers.add("Via", "SIP/2.0/UDP h;branch=z9hG4bK-9")
+        request.headers.add("CSeq", "1 ACK")
+        assert request.transaction_key() == ("z9hG4bK-9", "INVITE")
+
+
+class TestCreateResponse:
+    def make_invite(self):
+        return parse_message(INVITE_WIRE)
+
+    def test_copies_mandatory_headers(self):
+        response = self.make_invite().create_response(200)
+        assert response.headers.get("Via") is not None
+        assert response.headers.get("From") is not None
+        assert response.call_id == "cid42@192.168.0.1"
+        assert response.cseq.method == "INVITE"
+
+    def test_adds_to_tag(self):
+        response = self.make_invite().create_response(200, to_tag="bt")
+        assert response.to.tag == "bt"
+
+    def test_preserves_existing_to_tag(self):
+        invite = self.make_invite()
+        invite.headers.set("To", "<sip:bob@voicehoc.ch>;tag=orig")
+        response = invite.create_response(200, to_tag="new")
+        assert response.to.tag == "orig"
+
+    def test_dialog_forming_response_echoes_record_route(self):
+        invite = self.make_invite()
+        invite.headers.add("Record-Route", "<sip:p1;lr>")
+        invite.headers.add("Record-Route", "<sip:p2;lr>")
+        ok = invite.create_response(200, to_tag="t")
+        assert ok.headers.get_all("Record-Route") == ["<sip:p1;lr>", "<sip:p2;lr>"]
+        # Non-INVITE responses don't echo it.
+        bye = SipRequest("BYE", "sip:h")
+        bye.headers.add("CSeq", "2 BYE")
+        bye.headers.add("Record-Route", "<sip:p1;lr>")
+        assert bye.create_response(200).headers.get("Record-Route") is None
+
+    def test_default_reason_phrases(self):
+        assert self.make_invite().create_response(404).reason == "Not Found"
+        assert self.make_invite().create_response(486).reason == "Busy Here"

@@ -1,0 +1,70 @@
+"""Unit tests for the SDP codec and offer/answer."""
+
+import pytest
+
+from repro.errors import SipParseError
+from repro.sip import SessionDescription, parse_sdp
+
+
+class TestOfferAnswer:
+    def test_offer_shape(self):
+        offer = SessionDescription.offer("192.168.0.1", 16384)
+        assert offer.rtp_endpoint == ("192.168.0.1", 16384)
+        assert offer.audio is not None
+        assert offer.audio.payload_types == [0]
+
+    def test_answer_accepts_first_payload(self):
+        offer = SessionDescription.offer("192.168.0.1", 16384, payload_types=[18, 0])
+        answer = offer.answer("192.168.0.2", 16500)
+        assert answer.rtp_endpoint == ("192.168.0.2", 16500)
+        assert answer.audio.payload_types == [18]
+
+    def test_answer_without_media_rejected(self):
+        empty = SessionDescription(origin_address="1.1.1.1", connection_address="1.1.1.1")
+        with pytest.raises(SipParseError):
+            empty.answer("2.2.2.2", 16384)
+
+
+class TestCodec:
+    def test_round_trip(self):
+        offer = SessionDescription.offer("10.0.0.1", 20000, payload_types=[0, 8])
+        parsed = parse_sdp(offer.serialize())
+        assert parsed.connection_address == "10.0.0.1"
+        assert parsed.audio.port == 20000
+        assert parsed.audio.payload_types == [0, 8]
+        assert parsed.session_id == offer.session_id
+
+    def test_rtpmap_attributes(self):
+        offer = SessionDescription.offer("10.0.0.1", 20000, payload_types=[0])
+        parsed = parse_sdp(offer.serialize())
+        assert parsed.audio.rtpmaps()[0] == "PCMU/8000"
+
+    def test_parse_lf_only_line_endings(self):
+        text = "v=0\no=- 1 1 IN IP4 10.0.0.1\ns=-\nc=IN IP4 10.0.0.1\nt=0 0\nm=audio 9000 RTP/AVP 0\n"
+        parsed = parse_sdp(text.encode())
+        assert parsed.audio.port == 9000
+
+    def test_connection_falls_back_to_origin(self):
+        text = "v=0\r\no=- 1 1 IN IP4 10.0.0.7\r\ns=-\r\nt=0 0\r\nm=audio 9000 RTP/AVP 0\r\n"
+        parsed = parse_sdp(text.encode())
+        assert parsed.connection_address == "10.0.0.7"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            b"\xff\xfe",
+            b"vequals0",
+            b"v=0\r\nm=audio\r\n",
+            b"v=0\r\nm=audio notaport RTP/AVP 0\r\n",
+            b"v=0\r\ns=-\r\n",  # no addresses at all
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(SipParseError):
+            parse_sdp(bad)
+
+    def test_no_audio_media(self):
+        text = "v=0\r\no=- 1 1 IN IP4 10.0.0.1\r\nc=IN IP4 10.0.0.1\r\nm=video 9000 RTP/AVP 96\r\n"
+        parsed = parse_sdp(text.encode())
+        assert parsed.audio is None
+        assert parsed.rtp_endpoint is None

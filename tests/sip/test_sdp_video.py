@@ -1,0 +1,68 @@
+"""Unit tests for multi-stream (audio+video) SDP offer/answer."""
+
+import pytest
+
+from repro.sip import SessionDescription, parse_sdp
+
+
+class TestVideoOffer:
+    def test_offer_with_video(self):
+        offer = SessionDescription.offer("10.0.0.1", 16384, video_port=16386)
+        assert offer.audio is not None and offer.audio.port == 16384
+        assert offer.video is not None and offer.video.port == 16386
+        assert offer.video.payload_types == [34]
+        assert offer.video_endpoint == ("10.0.0.1", 16386)
+
+    def test_offer_without_video(self):
+        offer = SessionDescription.offer("10.0.0.1", 16384)
+        assert offer.video is None
+        assert offer.video_endpoint is None
+
+    def test_video_rtpmap_present(self):
+        offer = SessionDescription.offer("10.0.0.1", 16384, video_port=16386)
+        assert offer.video.rtpmaps()[34] == "H263/90000"
+
+    def test_round_trip(self):
+        offer = SessionDescription.offer("10.0.0.1", 16384, video_port=16386)
+        parsed = parse_sdp(offer.serialize())
+        assert parsed.audio.port == 16384
+        assert parsed.video.port == 16386
+
+
+class TestVideoAnswer:
+    def test_answer_accepts_video(self):
+        offer = SessionDescription.offer("10.0.0.1", 16384, video_port=16386)
+        answer = offer.answer("10.0.0.2", 20000, video_port=20002)
+        assert answer.audio.port == 20000
+        assert answer.video.port == 20002
+        assert len(answer.media) == 2
+
+    def test_answer_declines_video_with_port_zero(self):
+        """RFC 3264: every offered m-line appears in the answer; port 0
+        marks a rejected stream."""
+        offer = SessionDescription.offer("10.0.0.1", 16384, video_port=16386)
+        answer = offer.answer("10.0.0.2", 20000)  # no video_port
+        assert answer.video is None  # .video skips port-0 streams
+        assert len(answer.media) == 2
+        video_line = answer.media[1]
+        assert video_line.media == "video" and video_line.port == 0
+
+    def test_answer_preserves_mline_order(self):
+        offer = SessionDescription.offer("10.0.0.1", 16384, video_port=16386)
+        answer = offer.answer("10.0.0.2", 20000, video_port=20002)
+        assert [m.media for m in answer.media] == [m.media for m in offer.media]
+
+    def test_audio_only_offer_ignores_video_port(self):
+        offer = SessionDescription.offer("10.0.0.1", 16384)
+        answer = offer.answer("10.0.0.2", 20000, video_port=20002)
+        assert len(answer.media) == 1
+
+    def test_unknown_stream_kind_rejected_with_port_zero(self):
+        text = (
+            "v=0\r\no=- 1 1 IN IP4 10.0.0.1\r\nc=IN IP4 10.0.0.1\r\n"
+            "m=audio 16384 RTP/AVP 0\r\n"
+            "m=application 5000 RTP/AVP 96\r\n"
+        )
+        offer = parse_sdp(text.encode())
+        answer = offer.answer("10.0.0.2", 20000)
+        assert answer.media[1].port == 0

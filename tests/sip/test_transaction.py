@@ -1,0 +1,202 @@
+"""Unit tests for the SIP transaction layer (RFC 3261 section 17)."""
+
+import pytest
+
+from repro.sip import (
+    Headers,
+    SipRequest,
+    SipTransport,
+    TransactionLayer,
+    parse_message,
+)
+from repro.sip.transaction import T1, TIMER_B, TIMER_F
+from tests.conftest import make_chain
+
+
+def make_request(method, target_host):
+    headers = Headers()
+    headers.add("From", "<sip:alice@voicehoc.ch>;tag=a")
+    headers.add("To", "<sip:bob@voicehoc.ch>")
+    headers.add("Call-ID", "cid-txn-test")
+    headers.add("CSeq", f"1 {method}")
+    headers.add("Max-Forwards", "70")
+    return SipRequest(method, f"sip:bob@{target_host}", headers=headers)
+
+
+@pytest.fixture
+def pair(sim, medium):
+    """Two adjacent nodes with SIP transports and transaction layers."""
+    a, b = make_chain(sim, medium, 2, static_routes=True)
+    ta = SipTransport(a, 5060)
+    tb = SipTransport(b, 5060)
+    la = TransactionLayer(ta, sim)
+    lb = TransactionLayer(tb, sim)
+    return a, b, la, lb
+
+
+class TestClientNonInvite:
+    def test_request_retransmitted_until_response(self, sim, medium):
+        # Count raw datagrams on the wire: the peer has no SIP stack at all.
+        a, b = make_chain(sim, medium, 2, static_routes=True)
+        ta = SipTransport(a, 5060)
+        la = TransactionLayer(ta, sim)
+        datagrams = []
+        b.bind(5060, lambda data, src, sport: datagrams.append(sim.now))
+        la.send_request(make_request("OPTIONS", b.ip), (b.ip, 5060), lambda r: None)
+        sim.run(T1 * 3.5)
+        # initial + retransmits at T1, 2*T1 (server never answers)
+        assert len(datagrams) >= 3
+
+    def test_timeout_fires_timer_f(self, sim, pair):
+        a, b, la, lb = pair
+        timeouts = []
+        lb.on_request = lambda req, txn, src: None  # never answer
+        la.send_request(
+            make_request("OPTIONS", b.ip), (b.ip, 5060),
+            lambda r: None, on_timeout=lambda: timeouts.append(sim.now),
+        )
+        sim.run(TIMER_F + 5.0)
+        assert len(timeouts) == 1
+
+    def test_final_response_stops_retransmission(self, sim, pair):
+        a, b, la, lb = pair
+        received = []
+        responses = []
+
+        def on_request(request, txn, source):
+            received.append(sim.now)
+            txn.send_response(request.create_response(200))
+
+        lb.on_request = on_request
+        la.send_request(
+            make_request("OPTIONS", b.ip), (b.ip, 5060), responses.append
+        )
+        sim.run(TIMER_F + 5.0)
+        assert len(received) == 1
+        assert [r.status for r in responses] == [200]
+
+    def test_provisional_then_final(self, sim, pair):
+        a, b, la, lb = pair
+        responses = []
+
+        def on_request(request, txn, source):
+            txn.send_response(request.create_response(100))
+            sim.schedule(0.5, txn.send_response, request.create_response(404))
+
+        lb.on_request = on_request
+        la.send_request(make_request("OPTIONS", b.ip), (b.ip, 5060), responses.append)
+        sim.run(10.0)
+        statuses = [r.status for r in responses]
+        # Provisionals may be passed up more than once (retransmissions);
+        # the final response is delivered exactly once.
+        assert statuses[0] == 100
+        assert statuses.count(404) == 1
+        assert statuses[-1] == 404
+
+
+class TestClientInvite:
+    def test_2xx_passed_up_and_transaction_ends(self, sim, pair):
+        a, b, la, lb = pair
+        responses = []
+
+        def on_request(request, txn, source):
+            txn.send_response(request.create_response(200, to_tag="bt"))
+
+        lb.on_request = on_request
+        la.send_request(make_request("INVITE", b.ip), (b.ip, 5060), responses.append)
+        sim.run(2.0)
+        assert [r.status for r in responses] == [200]
+        assert la.active_transactions == 0
+
+    def test_non_2xx_generates_ack(self, sim, pair):
+        a, b, la, lb = pair
+        methods = []
+
+        def on_request(request, txn, source):
+            methods.append(request.method)
+            if request.method == "INVITE" and txn is not None:
+                txn.send_response(request.create_response(486, to_tag="bt"))
+
+        lb.on_request = on_request
+        la.send_request(make_request("INVITE", b.ip), (b.ip, 5060), lambda r: None)
+        sim.run(5.0)
+        # The ACK for a non-2xx goes to the same server transaction, which
+        # absorbs it — the TU sees only the INVITE.
+        assert methods == ["INVITE"]
+
+    def test_invite_timeout_timer_b(self, sim, pair):
+        a, b, la, lb = pair
+        timeouts = []
+        lb.on_request = lambda req, txn, src: None
+        la.send_request(
+            make_request("INVITE", b.ip), (b.ip, 5060),
+            lambda r: None, on_timeout=lambda: timeouts.append(sim.now),
+        )
+        sim.run(TIMER_B + 10.0)
+        assert len(timeouts) == 1
+        assert timeouts[0] >= TIMER_B
+
+
+class TestServer:
+    def test_retransmission_absorbed_with_response_resend(self, sim, pair):
+        a, b, la, lb = pair
+        tu_invocations = []
+        client_responses = []
+
+        def on_request(request, txn, source):
+            tu_invocations.append(request.method)
+            txn.send_response(request.create_response(486, to_tag="bt"))
+
+        lb.on_request = on_request
+        # Send the same INVITE twice, bypassing the client txn machinery.
+        request = make_request("INVITE", b.ip)
+        la.send_request(request, (b.ip, 5060), client_responses.append)
+        raw = request.serialize()
+        sim.schedule(0.05, a.send_udp, b.ip, 5060, 5060, raw)
+        sim.run(3.0)
+        assert tu_invocations == ["INVITE"]  # TU sees the request once
+
+    def test_ack_for_2xx_reaches_tu(self, sim, pair):
+        a, b, la, lb = pair
+        seen = []
+
+        def on_request(request, txn, source):
+            seen.append((request.method, txn is None))
+            if request.method == "INVITE":
+                txn.send_response(request.create_response(200, to_tag="bt"))
+
+        lb.on_request = on_request
+
+        def on_response(response):
+            if response.status == 200:
+                ack = make_request("ACK", b.ip)
+                ack.headers.add("Via", "SIP/2.0/UDP %s:5060;branch=z9hG4bK-ackbranch" % a.ip)
+                ack.headers.set("CSeq", "1 ACK")
+                la.send_stateless(ack, (b.ip, 5060))
+
+        la.send_request(make_request("INVITE", b.ip), (b.ip, 5060), on_response)
+        sim.run(3.0)
+        assert ("INVITE", False) in seen
+        assert ("ACK", True) in seen  # 2xx ACK is its own "transaction", txn=None
+
+
+class TestMatching:
+    def test_stray_response_goes_to_fallback(self, sim, pair):
+        a, b, la, lb = pair
+        strays = []
+        lb.on_stray_response = strays.append
+        response = make_request("OPTIONS", b.ip).create_response(200)
+        response.headers.add("Via", f"SIP/2.0/UDP {b.ip}:5060;branch=z9hG4bK-unknown")
+        a.send_udp(b.ip, 5060, 5060, response.serialize())
+        sim.run(1.0)
+        assert len(strays) == 1
+
+    def test_fresh_via_pushed_per_hop(self, sim, pair):
+        a, b, la, lb = pair
+        seen_vias = []
+        lb.on_request = lambda req, txn, src: seen_vias.append(len(req.vias))
+        request = make_request("OPTIONS", b.ip)
+        request.headers.add("Via", "SIP/2.0/UDP upstream:5070;branch=z9hG4bK-up")
+        la.send_request(request, (b.ip, 5060), lambda r: None)
+        sim.run(1.0)
+        assert seen_vias[0] == 2  # upstream Via + our own on top

@@ -1,0 +1,199 @@
+"""Behavioural tests for the SIP user agent core."""
+
+import pytest
+
+from repro.sip import (
+    CallState,
+    LocationService,
+    Registrar,
+    ServerTransaction,
+    SipTransport,
+    TransactionLayer,
+    UserAgent,
+)
+from tests.conftest import make_chain
+
+
+@pytest.fixture
+def ua_pair(sim, medium):
+    a, b = make_chain(sim, medium, 2, static_routes=True)
+    alice = UserAgent(a, "sip:alice@voicehoc.ch", port=5070)
+    bob = UserAgent(b, "sip:bob@voicehoc.ch", port=5070)
+    return a, b, alice, bob
+
+
+def auto_answer(sim, delay=0.2):
+    def handler(call):
+        call.ring()
+        sim.schedule(delay, call.answer)
+
+    return handler
+
+
+class TestRegistration:
+    def test_register_against_registrar(self, sim, medium):
+        a, b = make_chain(sim, medium, 2, static_routes=True)
+        alice = UserAgent(a, "sip:alice@voicehoc.ch", port=5070)
+        location = LocationService()
+        registrar = Registrar(location)
+        transport = SipTransport(b, 5060)
+        layer = TransactionLayer(transport, sim)
+        layer.on_request = lambda req, txn, src: registrar.process(req, txn, sim.now)
+        results = []
+        alice.register(registrar=(b.ip, 5060), on_result=lambda ok, resp: results.append(ok))
+        sim.run(2.0)
+        assert results == [True]
+        assert alice.registered
+        contacts = location.lookup("sip:alice@voicehoc.ch", sim.now)
+        assert contacts and contacts[0].host == a.ip
+
+    def test_register_timeout(self, sim, medium):
+        a, b = make_chain(sim, medium, 2, static_routes=True)
+        alice = UserAgent(a, "sip:alice@voicehoc.ch", port=5070)
+        results = []
+        alice.register(registrar=(b.ip, 5060), on_result=lambda ok, resp: results.append(ok))
+        sim.run(40.0)
+        assert results == [False]
+        assert not alice.registered
+
+    def test_register_without_destination_raises(self, sim, medium):
+        (a,) = make_chain(sim, medium, 1)
+        alice = UserAgent(a, "sip:alice@voicehoc.ch", port=5070)
+        from repro.errors import SipDialogError
+
+        with pytest.raises(SipDialogError):
+            alice.register()
+
+
+class TestBasicCall:
+    def test_full_call_lifecycle(self, sim, ua_pair):
+        a, b, alice, bob = ua_pair
+        bob.on_invite = auto_answer(sim)
+        states = []
+        call = alice.call(f"sip:bob@{b.ip}:5070", on_state=lambda c: states.append(c.state))
+        sim.run(3.0)
+        assert states == [CallState.CALLING, CallState.RINGING, CallState.ESTABLISHED]
+        assert call.dialog is not None
+        assert call.remote_rtp_endpoint is not None
+        call.hangup()
+        sim.run(6.0)
+        assert states[-1] == CallState.TERMINATED
+        assert not alice.active_calls and not bob.active_calls
+
+    def test_callee_sees_caller_identity(self, sim, ua_pair):
+        a, b, alice, bob = ua_pair
+        callers = []
+
+        def on_invite(call):
+            callers.append(str(call.caller))
+            call.answer()
+
+        bob.on_invite = on_invite
+        alice.call(f"sip:bob@{b.ip}:5070")
+        sim.run(2.0)
+        assert callers == ["sip:alice@voicehoc.ch"]
+
+    def test_callee_hangup(self, sim, ua_pair):
+        a, b, alice, bob = ua_pair
+        incoming = []
+
+        def on_invite(call):
+            incoming.append(call)
+            call.answer()
+
+        bob.on_invite = on_invite
+        states = []
+        alice.call(f"sip:bob@{b.ip}:5070", on_state=lambda c: states.append(c.state))
+        sim.run(3.0)
+        assert states[-1] == CallState.ESTABLISHED
+        incoming[0].hangup()
+        sim.run(6.0)
+        assert states[-1] == CallState.TERMINATED
+
+    def test_reject_call(self, sim, ua_pair):
+        a, b, alice, bob = ua_pair
+        bob.on_invite = lambda call: call.reject(486)
+        states = []
+        call = alice.call(f"sip:bob@{b.ip}:5070", on_state=lambda c: states.append(c.state))
+        sim.run(3.0)
+        assert states[-1] == CallState.FAILED
+        assert call.failure_status == 486
+
+    def test_no_invite_handler_means_480(self, sim, ua_pair):
+        a, b, alice, bob = ua_pair
+        call = alice.call(f"sip:bob@{b.ip}:5070")
+        sim.run(3.0)
+        assert call.state is CallState.FAILED
+        assert call.failure_status == 480
+
+    def test_unreachable_callee_times_out(self, sim, ua_pair):
+        a, b, alice, bob = ua_pair
+        bob.close()
+        call = alice.call(f"sip:bob@{b.ip}:5070")
+        sim.run(40.0)
+        assert call.state is CallState.FAILED
+        assert call.failure_status == 408
+
+    def test_sdp_negotiated_both_sides(self, sim, ua_pair):
+        a, b, alice, bob = ua_pair
+        answered = []
+
+        def on_invite(call):
+            call.answer()
+            answered.append(call)
+
+        bob.on_invite = on_invite
+        call = alice.call(f"sip:bob@{b.ip}:5070")
+        sim.run(3.0)
+        assert call.remote_sdp is not None
+        assert answered[0].remote_sdp is not None
+        assert answered[0].local_sdp is not None
+        # Each side streams to the other's advertised endpoint.
+        assert call.remote_rtp_endpoint[0] == b.ip
+        assert answered[0].remote_rtp_endpoint[0] == a.ip
+
+
+class TestCancel:
+    def test_cancel_before_answer(self, sim, ua_pair):
+        a, b, alice, bob = ua_pair
+        incoming_states = []
+
+        def on_invite(call):
+            call.ring()
+            call.on_state = lambda c: incoming_states.append(c.state)
+
+        bob.on_invite = on_invite
+        states = []
+        call = alice.call(f"sip:bob@{b.ip}:5070", on_state=lambda c: states.append(c.state))
+        sim.run(1.0)
+        call.cancel()
+        sim.run(5.0)
+        assert CallState.TERMINATED in incoming_states
+        assert states[-1] in (CallState.FAILED, CallState.TERMINATED)
+
+    def test_cancel_after_establish_is_noop(self, sim, ua_pair):
+        a, b, alice, bob = ua_pair
+        bob.on_invite = auto_answer(sim, delay=0.1)
+        call = alice.call(f"sip:bob@{b.ip}:5070")
+        sim.run(3.0)
+        assert call.state is CallState.ESTABLISHED
+        call.cancel()
+        sim.run(5.0)
+        assert call.state is CallState.ESTABLISHED
+
+
+class TestOptions:
+    def test_options_answered(self, sim, ua_pair):
+        a, b, alice, bob = ua_pair
+        from repro.sip import Headers, SipRequest
+
+        headers = Headers()
+        headers.add("From", "<sip:alice@voicehoc.ch>;tag=x")
+        headers.add("To", "<sip:bob@voicehoc.ch>")
+        headers.add("Call-ID", "opt-1")
+        headers.add("CSeq", "1 OPTIONS")
+        request = SipRequest("OPTIONS", f"sip:bob@{b.ip}:5070", headers=headers)
+        responses = []
+        alice.transactions.send_request(request, (b.ip, 5070), responses.append)
+        sim.run(2.0)
+        assert [r.status for r in responses] == [200]

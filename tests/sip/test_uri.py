@@ -1,0 +1,90 @@
+"""Unit tests for SIP URI and name-addr parsing."""
+
+import pytest
+
+from repro.errors import SipParseError
+from repro.sip import NameAddr, SipUri
+
+
+class TestSipUriParsing:
+    def test_full_uri(self):
+        uri = SipUri.parse("sip:alice@voicehoc.ch:5070;transport=udp;lr")
+        assert uri.user == "alice"
+        assert uri.host == "voicehoc.ch"
+        assert uri.port == 5070
+        assert uri.param("transport") == "udp"
+        assert uri.has_param("lr")
+
+    def test_minimal_uri(self):
+        uri = SipUri.parse("sip:voicehoc.ch")
+        assert uri.user is None
+        assert uri.port is None
+        assert uri.host == "voicehoc.ch"
+
+    def test_host_lowercased(self):
+        assert SipUri.parse("sip:Alice@VoiceHoc.CH").host == "voicehoc.ch"
+
+    def test_sips_scheme(self):
+        assert SipUri.parse("sips:a@b.c").scheme == "sips"
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "alice@host", "http://x.com", "sip:", "sip:@host", "sip:a@", "sip:a@h:99999",
+         "sip:a@h:notaport"],
+    )
+    def test_invalid_uris(self, bad):
+        with pytest.raises(SipParseError):
+            SipUri.parse(bad)
+
+    def test_round_trip(self):
+        text = "sip:bob@192.168.0.5:5060;lr"
+        assert str(SipUri.parse(text)) == text
+
+    def test_address_of_record_strips_port_and_params(self):
+        uri = SipUri.parse("sip:alice@voicehoc.ch:5070;transport=udp")
+        assert uri.address_of_record == "sip:alice@voicehoc.ch"
+
+    def test_with_param_replaces(self):
+        uri = SipUri.parse("sip:h").with_param("lr").with_param("lr")
+        assert str(uri).count("lr") == 1
+
+    def test_effective_port_default(self):
+        assert SipUri.parse("sip:h").effective_port() == 5060
+        assert SipUri.parse("sip:h:5080").effective_port() == 5080
+
+    def test_uris_hashable_and_comparable(self):
+        a = SipUri.parse("sip:alice@h")
+        b = SipUri.parse("sip:alice@h")
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestNameAddr:
+    def test_with_display_name_and_tag(self):
+        addr = NameAddr.parse('"Alice Smith" <sip:alice@voicehoc.ch>;tag=abc123')
+        assert addr.display_name == "Alice Smith"
+        assert addr.uri.user == "alice"
+        assert addr.tag == "abc123"
+
+    def test_bare_addr_spec_params_belong_to_header(self):
+        addr = NameAddr.parse("sip:bob@h;tag=xyz")
+        assert addr.tag == "xyz"
+        assert addr.uri.param("tag") is None
+
+    def test_angle_bracket_uri_params_stay_in_uri(self):
+        addr = NameAddr.parse("<sip:proxy:5060;lr>")
+        assert addr.uri.has_param("lr")
+        assert "lr" not in addr.params
+
+    def test_round_trip(self):
+        text = '"Bob" <sip:bob@voicehoc.ch>;tag=99'
+        assert str(NameAddr.parse(text)) == text
+
+    def test_with_tag_overwrites(self):
+        addr = NameAddr.parse("<sip:a@b>;tag=old").with_tag("new")
+        assert addr.tag == "new"
+
+    def test_valueless_param(self):
+        addr = NameAddr.parse("<sip:a@b>;flag")
+        assert "flag" in addr.params
+        assert addr.params["flag"] is None

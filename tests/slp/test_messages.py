@@ -1,0 +1,102 @@
+"""Unit tests for the SLP wire codec."""
+
+import pytest
+
+from repro.errors import CodecError
+from repro.slp import (
+    SrvAck,
+    SrvDeReg,
+    SrvReg,
+    SrvRply,
+    SrvRqst,
+    UrlEntry,
+    decode_slp,
+    encode_slp,
+)
+
+
+class TestRoundTrips:
+    def test_srvrqst(self):
+        message = SrvRqst(
+            xid=7,
+            service_type="siphoc-sip",
+            predicate="(user=sip:bob@voicehoc.ch)",
+            requester="192.168.0.1",
+        )
+        assert decode_slp(encode_slp(message)) == message
+
+    def test_srvrply_multiple_entries(self):
+        message = SrvRply(
+            xid=9,
+            entries=[
+                UrlEntry(url="service:siphoc-sip://192.168.0.5:5060", lifetime=60,
+                         attributes="(user=sip:bob@voicehoc.ch)"),
+                UrlEntry(url="service:siphoc-sip://192.168.0.6:5060", lifetime=30,
+                         attributes=""),
+            ],
+        )
+        assert decode_slp(encode_slp(message)) == message
+
+    def test_srvreg(self):
+        message = SrvReg(
+            xid=2,
+            entry=UrlEntry(url="service:gateway.siphoc://192.168.0.9:5063",
+                           lifetime=120, attributes="(wired=10.0.0.3)"),
+        )
+        assert decode_slp(encode_slp(message)) == message
+
+    def test_srvdereg_and_ack(self):
+        assert decode_slp(encode_slp(SrvDeReg(xid=1, url="service:x://h"))) == SrvDeReg(
+            xid=1, url="service:x://h"
+        )
+        assert decode_slp(encode_slp(SrvAck(xid=3, error=5))) == SrvAck(xid=3, error=5)
+
+    def test_unicode_strings(self):
+        message = SrvRqst(xid=1, service_type="tëst", predicate="(k=välue)", requester="1.2.3.4")
+        assert decode_slp(encode_slp(message)) == message
+
+
+class TestErrors:
+    def test_bad_version(self):
+        data = bytearray(encode_slp(SrvAck(xid=1)))
+        data[0] = 9
+        with pytest.raises(CodecError):
+            decode_slp(bytes(data))
+
+    def test_bad_function(self):
+        data = bytearray(encode_slp(SrvAck(xid=1)))
+        data[1] = 200
+        with pytest.raises(CodecError):
+            decode_slp(bytes(data))
+
+    def test_truncated(self):
+        data = encode_slp(
+            SrvRqst(xid=1, service_type="siphoc-sip", predicate="", requester="1.2.3.4")
+        )
+        with pytest.raises(CodecError):
+            decode_slp(data[:-3])
+
+
+class TestUrlEntryConversion:
+    def test_to_service_entry(self):
+        entry = UrlEntry(
+            url="service:siphoc-sip://192.168.0.5:5060",
+            lifetime=60,
+            attributes="(user=sip:bob@voicehoc.ch)",
+        ).to_service_entry(now=10.0, origin="192.168.0.5")
+        assert entry.url.host == "192.168.0.5"
+        assert entry.expires_at == 70.0
+        assert entry.attributes == {"user": "sip:bob@voicehoc.ch"}
+        assert entry.origin == "192.168.0.5"
+
+    def test_from_service_entry_clamps_lifetime(self):
+        from repro.slp import ServiceEntry, ServiceUrl
+
+        entry = ServiceEntry(
+            url=ServiceUrl.parse("service:x://h:1"),
+            attributes={},
+            lifetime=0.2,
+            expires_at=1.0,
+        )
+        url_entry = UrlEntry.from_service_entry(entry, remaining=0.2)
+        assert url_entry.lifetime >= 1
