@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Run the benchmark suite and emit pytest-benchmark JSON for trend tracking.
+
+Writes ``BENCH_<YYYY-MM-DD>.json`` (pytest-benchmark's machine-readable
+format) into the repository root so successive PRs leave a perf trajectory
+to diff against::
+
+    python benchmarks/run_bench.py                 # micro-benchmarks (fast)
+    python benchmarks/run_bench.py --all           # every benchmark file
+    python benchmarks/run_bench.py -o my.json -- -k broadcast
+
+Arguments after ``--`` are forwarded to pytest verbatim.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--all",
+        action="store_true",
+        help="run every benchmark file (default: micro-benchmarks only)",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="output JSON path (default: BENCH_<date>.json in the repo root)",
+    )
+    args, passthrough = parser.parse_known_args(argv)
+    if passthrough and passthrough[0] == "--":
+        passthrough = passthrough[1:]
+
+    output = args.output or os.path.join(
+        REPO_ROOT, f"BENCH_{datetime.date.today().isoformat()}.json"
+    )
+    target = "benchmarks" if args.all else "benchmarks/test_bench_micro.py"
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        target,
+        "--benchmark-only",
+        f"--benchmark-json={output}",
+        "-q",
+        *passthrough,
+    ]
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    print("+", " ".join(command))
+    result = subprocess.run(command, cwd=REPO_ROOT, env=env)
+    if result.returncode == 0:
+        print(f"benchmark JSON written to {output}")
+    return result.returncode
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

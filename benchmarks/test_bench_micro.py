@@ -76,3 +76,99 @@ def test_simulator_event_throughput(benchmark):
         return count[0]
 
     assert benchmark(run_10k_events) == 10_000
+
+
+# -- simulation inner-loop fast paths ----------------------------------------
+#
+# The spatial neighbor index, event-queue compaction and serialization caches
+# are what let the E5/E6-style scalability scenarios grow; these benchmarks
+# pin down their wins and guard against regressions.
+
+import time
+
+import pytest
+
+from repro.netsim import BROADCAST, Datagram, Node, Packet, WirelessMedium, manet_ip
+from repro.netsim.mobility import place_random
+
+#: Constant-density placement: ~1.6 neighbors per node at every N, so the
+#: benchmark isolates neighbor *lookup* cost from per-delivery event cost.
+_DENSITY_SIDE = {10: 1100.0, 50: 2475.0, 100: 3500.0}
+
+
+def _build_broadcast_network(n_nodes, use_spatial_index=True, seed=3):
+    sim = Simulator(seed=seed)
+    medium = WirelessMedium(sim, tx_range=250.0, use_spatial_index=use_spatial_index)
+    nodes = []
+    for index in range(n_nodes):
+        node = Node(sim, index, manet_ip(index))
+        node.join_medium(medium)
+        nodes.append(node)
+    side = _DENSITY_SIDE[n_nodes]
+    place_random(nodes, sim, side, side)
+    return sim, medium, nodes
+
+
+def _broadcast_round(sim, medium, nodes):
+    """Every node broadcasts one 40-byte frame; run the sim to deliver all."""
+    packet = Packet(nodes[0].ip, BROADCAST, Datagram(5060, 5060, b"x" * 40))
+    for node in nodes:
+        medium.broadcast(node, packet)
+    sim.run(sim.now + 1.0)
+
+
+@pytest.mark.parametrize("n_nodes", [10, 50, 100])
+def test_broadcast_delivery_throughput(benchmark, n_nodes):
+    sim, medium, nodes = _build_broadcast_network(n_nodes)
+    benchmark(_broadcast_round, sim, medium, nodes)
+    assert medium.stats.traffic_packets("total") >= n_nodes
+
+
+def test_broadcast_spatial_index_speedup_100_nodes():
+    """The spatial index must be >= 3x faster than brute force at N=100."""
+
+    def median_round_time(use_spatial_index):
+        sim, medium, nodes = _build_broadcast_network(
+            100, use_spatial_index=use_spatial_index
+        )
+        _broadcast_round(sim, medium, nodes)  # warm caches / first-touch
+        timings = []
+        for _ in range(7):
+            start = time.perf_counter()
+            for _ in range(5):
+                _broadcast_round(sim, medium, nodes)
+            timings.append(time.perf_counter() - start)
+        timings.sort()
+        return timings[len(timings) // 2]
+
+    brute = median_round_time(use_spatial_index=False)
+    indexed = median_round_time(use_spatial_index=True)
+    speedup = brute / indexed
+    print(f"\nbroadcast delivery, 100 nodes: brute={brute * 1e3:.2f}ms "
+          f"indexed={indexed * 1e3:.2f}ms speedup={speedup:.1f}x")
+    assert speedup >= 3.0, f"spatial index speedup {speedup:.2f}x < 3x"
+
+
+def test_cancelled_timer_churn(benchmark):
+    """1M scheduled-then-cancelled timers: heap memory must stay bounded.
+
+    This is the SIP transaction-timer workload (timers A/B/E-K are armed
+    and cancelled on every message) at week-long-run volume.
+    """
+
+    def churn_one_million():
+        sim = Simulator(seed=1)
+        keepalive = sim.schedule(3600.0, lambda: None)
+        for _ in range(1_000_000):
+            sim.schedule(1.0, lambda: None).cancel()
+        assert not keepalive.cancelled
+        return sim
+
+    def run():
+        return benchmark.pedantic(churn_one_million, rounds=1, iterations=1)
+
+    sim = run()
+    # Lazy compaction keeps the heap near its live size, not 1M tombstones.
+    assert sim.pending_events == 1
+    assert sim.queue_size < Simulator.COMPACT_MIN_QUEUE
+    assert sim.compactions > 0

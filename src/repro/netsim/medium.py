@@ -6,6 +6,15 @@ receives its transmissions. Per-transmission delay is serialization time at
 per-receiver jitter (standing in for 802.11 backoff, and preventing
 degenerate simultaneity in flooding protocols). Unicast frames get link-layer
 retransmissions, broadcast frames do not — as in real 802.11.
+
+Neighbor lookup is the inner loop of every transmitted frame. By default the
+medium maintains a uniform-grid spatial index (cell size = ``tx_range``) plus
+a per-node neighbor cache invalidated by a position epoch counter, making
+:meth:`neighbors` O(degree) instead of O(N). Node position setters notify the
+medium, so mobility models need no special wiring. The brute-force O(N) scan
+is kept behind ``use_spatial_index=False`` as a parity reference: both paths
+visit in-range nodes in identical (insertion) order and use the same range
+predicate, so a seeded simulation produces bit-identical results either way.
 """
 
 from __future__ import annotations
@@ -25,6 +34,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 SnifferFn = Callable[[CapturedFrame], None]
 LinkFailureFn = Callable[[str, Packet], None]
 
+_Cell = tuple[int, int]
+
 
 class WirelessMedium:
     """Shared broadcast medium connecting all MANET nodes."""
@@ -40,6 +51,7 @@ class WirelessMedium:
         loss_rate: float = 0.0,
         mac_retries: int = 3,
         energy: EnergyModel | None = None,
+        use_spatial_index: bool = True,
     ) -> None:
         self.sim = sim
         self.stats = stats or Stats()
@@ -50,9 +62,19 @@ class WirelessMedium:
         self.jitter = jitter
         self.loss_rate = loss_rate
         self.mac_retries = mac_retries
+        self.use_spatial_index = use_spatial_index
         self._nodes: list["Node"] = []
         self._by_ip: dict[str, "Node"] = {}
         self._sniffers: list[SnifferFn] = []
+        # Spatial index state. Keys are id(node): nodes are kept alive by
+        # self._nodes while members, so ids cannot be recycled under us.
+        self._cell_size = tx_range if tx_range > 0 else 1.0
+        self._cells: dict[_Cell, list["Node"]] = {}
+        self._node_cell: dict[int, _Cell] = {}
+        self._order: dict[int, int] = {}  # membership order, = brute-force scan order
+        self._order_seq = 0
+        self._position_epoch = 0
+        self._neighbor_cache: dict[int, tuple[int, list["Node"]]] = {}
 
     # -- membership ---------------------------------------------------------
     def add_node(self, node: "Node") -> None:
@@ -60,10 +82,25 @@ class WirelessMedium:
             raise ValueError(f"duplicate MANET address {node.ip}")
         self._nodes.append(node)
         self._by_ip[node.ip] = node
+        if node.medium is None:  # direct add_node callers still get move tracking
+            node.medium = self
+        self._order[id(node)] = self._order_seq
+        self._order_seq += 1
+        self._grid_insert(node)
+        self._position_epoch += 1
 
     def remove_node(self, node: "Node") -> None:
         self._nodes.remove(node)
         del self._by_ip[node.ip]
+        del self._order[id(node)]
+        cell = self._node_cell.pop(id(node), None)
+        if cell is not None:
+            bucket = self._cells[cell]
+            bucket.remove(node)
+            if not bucket:
+                del self._cells[cell]
+        self._neighbor_cache.pop(id(node), None)
+        self._position_epoch += 1
 
     @property
     def nodes(self) -> list["Node"]:
@@ -73,18 +110,101 @@ class WirelessMedium:
         return self._by_ip.get(ip)
 
     # -- topology -----------------------------------------------------------
+    @property
+    def position_epoch(self) -> int:
+        """Bumped on every membership or position change; invalidates caches."""
+        return self._position_epoch
+
     def distance(self, a: "Node", b: "Node") -> float:
-        return math.hypot(a.position[0] - b.position[0], a.position[1] - b.position[1])
+        ax, ay = a.position
+        bx, by = b.position
+        return math.hypot(ax - bx, ay - by)
 
     def in_range(self, a: "Node", b: "Node") -> bool:
         return self.distance(a, b) <= self.tx_range
 
     def neighbors(self, node: "Node") -> list["Node"]:
+        """All nodes within ``tx_range`` of ``node``, in membership order.
+
+        On the spatial-index path the returned list is a cached internal
+        object — treat it as read-only.
+        """
+        if not self.use_spatial_index:
+            return self._brute_force_neighbors(node)
+        self._ensure_grid()
+        key = id(node)
+        cached = self._neighbor_cache.get(key)
+        if cached is not None and cached[0] == self._position_epoch:
+            return cached[1]
+        result = self._grid_neighbors(node)
+        if key in self._order:  # only cache member nodes (stable identity)
+            self._neighbor_cache[key] = (self._position_epoch, result)
+        return result
+
+    def _brute_force_neighbors(self, node: "Node") -> list["Node"]:
         return [
             other
             for other in self._nodes
             if other is not node and self.in_range(node, other)
         ]
+
+    # -- spatial index ------------------------------------------------------
+    def _cell_of(self, position: tuple[float, float]) -> _Cell:
+        size = self._cell_size
+        return (math.floor(position[0] / size), math.floor(position[1] / size))
+
+    def _grid_insert(self, node: "Node") -> None:
+        cell = self._cell_of(node.position)
+        self._cells.setdefault(cell, []).append(node)
+        self._node_cell[id(node)] = cell
+
+    def _ensure_grid(self) -> None:
+        """Rebuild the grid if ``tx_range`` was reconfigured after creation."""
+        desired = self.tx_range if self.tx_range > 0 else 1.0
+        if desired == self._cell_size:
+            return
+        self._cell_size = desired
+        self._cells = {}
+        self._node_cell = {}
+        for node in self._nodes:
+            self._grid_insert(node)
+        self._position_epoch += 1
+
+    def _on_node_moved(self, node: "Node") -> None:
+        """Notification from :class:`Node` position setters."""
+        key = id(node)
+        if key not in self._order:
+            return
+        self._position_epoch += 1
+        cell = self._cell_of(node.position)
+        old = self._node_cell[key]
+        if old == cell:
+            return
+        bucket = self._cells[old]
+        bucket.remove(node)
+        if not bucket:
+            del self._cells[old]
+        self._cells.setdefault(cell, []).append(node)
+        self._node_cell[key] = cell
+
+    def _grid_neighbors(self, node: "Node") -> list["Node"]:
+        cx, cy = self._cell_of(node.position)
+        cells = self._cells
+        in_range = self.in_range
+        result: list["Node"] = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                bucket = cells.get((cx + dx, cy + dy))
+                if not bucket:
+                    continue
+                for other in bucket:
+                    if other is not node and in_range(node, other):
+                        result.append(other)
+        # Membership order keeps delivery (and thus RNG draw) order identical
+        # to the brute-force scan — determinism is bit-for-bit across modes.
+        order = self._order
+        result.sort(key=lambda n: order[id(n)])
+        return result
 
     # -- capture ------------------------------------------------------------
     def add_sniffer(self, sniffer: SnifferFn) -> None:
@@ -159,6 +279,8 @@ class WirelessMedium:
                     break
         if self.energy is not None:
             self.energy.on_send(sender, packet, attempts=attempts)
+            # One neighbor-list lookup covers receiver and bystanders alike
+            # (cached on the spatial-index path, not a second full scan).
             for neighbor in self.neighbors(sender):
                 if neighbor is receiver:
                     if delivered:

@@ -4,6 +4,11 @@ Positions are updated in discrete ticks on the simulation clock. The random
 waypoint model is the standard MANET evaluation workload; the paper's
 testbed is quasi-static (laptops on desks, firewalled into multihop), which
 the static placement helpers model.
+
+Position writes go through the ``Node.position`` setter, which bumps the
+attached medium's position epoch (invalidating its spatial-index neighbor
+caches). Mobility models therefore avoid writing positions that did not
+actually change — paused or clamped-stationary nodes cost nothing.
 """
 
 from __future__ import annotations
@@ -197,7 +202,11 @@ class ReferencePointGroupMobility:
                 if self.sim.rng.random() < 0.1:
                     self._offsets[node.node_id] = self._random_offset()
                     ox, oy = self._offsets[node.node_id]
-                node.position = (
+                new_position = (
                     min(max(cx + ox, 0.0), self.width),
                     min(max(cy + oy, 0.0), self.height),
                 )
+                # Skip no-op writes: every position write bumps the medium's
+                # position epoch and flushes all cached neighbor lists.
+                if new_position != node.position:
+                    node.position = new_position

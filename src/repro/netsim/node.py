@@ -95,7 +95,7 @@ class Node:
         self.sim = sim
         self.node_id = node_id
         self.ip = ip or ""
-        self.position = position
+        self._position = position
         self.stats = stats or Stats()
         self.hostname = hostname or (f"node-{node_id}")
         self.medium: "WirelessMedium | None" = None
@@ -107,6 +107,19 @@ class Node:
         self._default_routes: list[_DefaultRoute] = []
         self._next_ephemeral = EPHEMERAL_PORT_BASE
         self.up = True  # set False to crash the node (failure injection)
+
+    # -- position -------------------------------------------------------------
+    @property
+    def position(self) -> tuple[float, float]:
+        return self._position
+
+    @position.setter
+    def position(self, value: tuple[float, float]) -> None:
+        """Move the node, bumping the medium's position epoch (cache invalidation)."""
+        self._position = value
+        medium = self.medium
+        if medium is not None:
+            medium._on_node_moved(self)
 
     # -- attachment ----------------------------------------------------------
     def join_medium(self, medium: "WirelessMedium") -> None:

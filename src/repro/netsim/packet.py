@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field, replace
+from functools import cached_property
 
 BROADCAST = "255.255.255.255"
 
@@ -46,7 +47,7 @@ class Datagram:
             raise TypeError(f"datagram payload must be bytes, got {type(self.data)!r}")
         self.data = bytes(self.data)
 
-    @property
+    @cached_property
     def size(self) -> int:
         return len(self.data) + UDP_HEADER_BYTES
 
@@ -65,9 +66,13 @@ class Packet:
     ttl: int = DEFAULT_TTL
     uid: int = field(default_factory=lambda: next(_packet_ids))
 
-    @property
+    @cached_property
     def size(self) -> int:
-        """On-air size in bytes, including MAC/IP/UDP framing."""
+        """On-air size in bytes, including MAC/IP/UDP framing.
+
+        Cached: payload bytes are immutable, and hook mutation goes through
+        :meth:`with_data`, which builds a fresh packet (and a fresh cache).
+        """
         return len(self.payload.data) + FRAMING_BYTES
 
     @property
@@ -87,7 +92,11 @@ class Packet:
 
     def forwarded(self) -> "Packet":
         """Return the next-hop copy of this packet with TTL decremented."""
-        return replace(self, ttl=self.ttl - 1)
+        clone = replace(self, ttl=self.ttl - 1)
+        size = self.__dict__.get("size")
+        if size is not None:  # carry the size cache across hops (same payload)
+            clone.__dict__["size"] = size
+        return clone
 
     def with_data(self, data: bytes) -> "Packet":
         """Return a copy carrying different payload bytes (hook mutation)."""

@@ -23,15 +23,17 @@ class _ScheduledEvent:
     callback: Callable[..., None] = field(compare=False)
     args: tuple[Any, ...] = field(compare=False, default=())
     cancelled: bool = field(compare=False, default=False)
+    popped: bool = field(compare=False, default=False)
 
 
 class EventHandle:
     """Cancellable handle returned by :meth:`Simulator.schedule`."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_sim")
 
-    def __init__(self, event: _ScheduledEvent) -> None:
+    def __init__(self, event: _ScheduledEvent, sim: "Simulator") -> None:
         self._event = event
+        self._sim = sim
 
     @property
     def time(self) -> float:
@@ -43,7 +45,12 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Prevent the event from firing. Safe to call more than once."""
-        self._event.cancelled = True
+        event = self._event
+        if event.cancelled:
+            return
+        event.cancelled = True
+        if not event.popped:
+            self._sim._on_cancelled_in_queue()
 
 
 class PeriodicTask:
@@ -92,7 +99,19 @@ class PeriodicTask:
 
 
 class Simulator:
-    """Deterministic discrete-event simulator with a virtual clock in seconds."""
+    """Deterministic discrete-event simulator with a virtual clock in seconds.
+
+    Cancelled events are left in the heap as tombstones (removing an
+    arbitrary heap entry is O(N)); a live-event counter keeps
+    :attr:`pending_events` O(1), and the heap is lazily compacted whenever
+    tombstones outnumber live events, so long runs with heavy timer churn
+    (SIP transaction timers are scheduled and cancelled constantly) stay
+    bounded in memory. Compaction never changes the (time, seq) pop order,
+    so it is invisible to the simulation.
+    """
+
+    #: Don't bother compacting heaps smaller than this.
+    COMPACT_MIN_QUEUE = 64
 
     def __init__(self, seed: int = 0) -> None:
         self.rng = random.Random(seed)
@@ -101,6 +120,9 @@ class Simulator:
         self._seq = 0
         self._queue: list[_ScheduledEvent] = []
         self._events_processed = 0
+        self._live = 0  # non-cancelled events currently in the queue
+        self._tombstones = 0  # cancelled events still in the queue
+        self._compactions = 0
 
     @property
     def now(self) -> float:
@@ -113,7 +135,34 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of live (non-cancelled) scheduled events. O(1)."""
+        return self._live
+
+    @property
+    def queue_size(self) -> int:
+        """Heap entries including cancelled tombstones (memory diagnostics)."""
+        return len(self._queue)
+
+    @property
+    def compactions(self) -> int:
+        """How many times the heap has been rebuilt to drop tombstones."""
+        return self._compactions
+
+    def _on_cancelled_in_queue(self) -> None:
+        self._live -= 1
+        self._tombstones += 1
+        if (
+            len(self._queue) >= self.COMPACT_MIN_QUEUE
+            and self._tombstones * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without tombstones; pop order is unchanged."""
+        self._queue = [event for event in self._queue if not event.cancelled]
+        heapq.heapify(self._queue)
+        self._tombstones = 0
+        self._compactions += 1
 
     def schedule(
         self, delay: float, callback: Callable[..., None], *args: Any
@@ -134,7 +183,8 @@ class Simulator:
         self._seq += 1
         event = _ScheduledEvent(time=time, seq=self._seq, callback=callback, args=args)
         heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        self._live += 1
+        return EventHandle(event, self)
 
     def schedule_periodic(
         self,
@@ -166,8 +216,11 @@ class Simulator:
             )
         while self._queue and self._queue[0].time <= until:
             event = heapq.heappop(self._queue)
+            event.popped = True
             if event.cancelled:
+                self._tombstones -= 1
                 continue
+            self._live -= 1
             self._now = event.time
             self._events_processed += 1
             event.callback(*event.args)
@@ -181,8 +234,11 @@ class Simulator:
         """
         while self._queue and self._queue[0].time <= max_time:
             event = heapq.heappop(self._queue)
+            event.popped = True
             if event.cancelled:
+                self._tombstones -= 1
                 continue
+            self._live -= 1
             self._now = event.time
             self._events_processed += 1
             event.callback(*event.args)

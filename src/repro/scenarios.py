@@ -45,6 +45,7 @@ class ManetConfig:
     area: tuple[float, float] = (600.0, 600.0)  # random placement area
     loss_rate: float = 0.0
     mac_retries: int = 3  # 802.11-style link-layer retransmissions
+    spatial_index: bool = True  # False = brute-force O(N) neighbor scans (parity mode)
     mobility: bool = False
     mobility_speed: tuple[float, float] = (0.5, 2.0)
     mobility_pause: float = 5.0
@@ -71,6 +72,7 @@ class ManetScenario:
             tx_range=base.tx_range,
             loss_rate=base.loss_rate,
             mac_retries=base.mac_retries,
+            use_spatial_index=base.spatial_index,
         )
         self.cloud: InternetCloud | None = None
         self.providers: dict[str, SipProvider] = {}

@@ -68,19 +68,31 @@ def canonical_header_name(name: str) -> str:
 
 
 class Headers:
-    """An ordered, case-insensitive multimap of SIP header fields."""
+    """An ordered, case-insensitive multimap of SIP header fields.
+
+    ``version`` increments on every mutation; :meth:`SipMessage.serialize`
+    uses it to memoize the wire form between mutations.
+    """
 
     def __init__(self, items: list[tuple[str, str]] | None = None) -> None:
         self._items: list[tuple[str, str]] = []
+        self._version = 0
         for name, value in items or []:
             self.add(name, value)
 
+    @property
+    def version(self) -> int:
+        """Mutation counter (serialization-cache invalidation key)."""
+        return self._version
+
     def add(self, name: str, value: str) -> None:
         self._items.append((canonical_header_name(name), value.strip()))
+        self._version += 1
 
     def insert_first(self, name: str, value: str) -> None:
         """Insert a header before existing fields of the same name (Via push)."""
         canonical = canonical_header_name(name)
+        self._version += 1
         for index, (existing, _) in enumerate(self._items):
             if existing == canonical:
                 self._items.insert(index, (canonical, value.strip()))
@@ -112,16 +124,19 @@ class Headers:
         if not replaced:
             out.append((canonical, value.strip()))
         self._items = out
+        self._version += 1
 
     def remove(self, name: str) -> None:
         canonical = canonical_header_name(name)
         self._items = [(n, v) for n, v in self._items if n != canonical]
+        self._version += 1
 
     def remove_first(self, name: str) -> str | None:
         canonical = canonical_header_name(name)
         for index, (existing, value) in enumerate(self._items):
             if existing == canonical:
                 del self._items[index]
+                self._version += 1
                 return value
         return None
 
@@ -217,6 +232,8 @@ class SipMessage:
     def __init__(self, headers: Headers | None = None, body: bytes = b"") -> None:
         self.headers = headers if headers is not None else Headers()
         self.body = body
+        self._wire: bytes | None = None
+        self._wire_key: tuple[int, str, bytes] | None = None
 
     # -- typed header accessors -------------------------------------------------
     @property
@@ -273,11 +290,26 @@ class SipMessage:
         raise NotImplementedError
 
     def serialize(self) -> bytes:
+        """Wire form of the message.
+
+        Memoized: re-serializing an unmodified message (transaction-layer
+        retransmissions, per-hop transport sends) returns the cached bytes.
+        Any header mutation (tracked by :attr:`Headers.version`), body
+        swap, or start-line change invalidates the cache.
+        """
+        start_line = self._start_line()
+        key = (self.headers.version, start_line, self.body)
+        if self._wire is not None and key == self._wire_key:
+            return self._wire
         self.headers.set("Content-Length", str(len(self.body)))
-        lines = [self._start_line()]
+        lines = [start_line]
         lines.extend(f"{name}: {value}" for name, value in self.headers.items())
         head = CRLF.join(lines) + CRLF + CRLF
-        return head.encode("utf-8") + self.body
+        self._wire = head.encode("utf-8") + self.body
+        # Record the post-Content-Length headers version so the next
+        # unmutated serialize() hits the cache.
+        self._wire_key = (self.headers.version, start_line, self.body)
+        return self._wire
 
     def __bytes__(self) -> bytes:
         return self.serialize()
@@ -389,6 +421,7 @@ def parse_message(data: bytes) -> SipRequest | SipResponse:
             folded = items[last_index][1] + " " + line.strip()
             items[last_index] = (canonical_header_name(name), folded)
             headers._items = items
+            headers._version += 1
             continue
         if ":" not in line:
             raise SipParseError(f"malformed header line: {line!r}")

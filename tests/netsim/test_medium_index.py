@@ -1,0 +1,181 @@
+"""Spatial-index neighbor cache: parity with brute force, cache invalidation.
+
+The grid index must be observationally identical to the brute-force O(N)
+scan — same neighbor sets, same (membership) ordering — under node churn,
+mobility and reconfiguration, because delivery order drives RNG draw order
+and therefore bit-for-bit determinism.
+"""
+
+import pytest
+
+from repro.netsim import (
+    Node,
+    Simulator,
+    WirelessMedium,
+    manet_ip,
+)
+from repro.netsim.mobility import RandomWaypointMobility, place_random
+
+
+def build_pair(seed=42, n=30, tx_range=150.0, area=600.0):
+    """Two identical topologies, one indexed and one brute-force."""
+    mediums, all_nodes = [], []
+    for indexed in (True, False):
+        sim = Simulator(seed=seed)
+        medium = WirelessMedium(sim, tx_range=tx_range, use_spatial_index=indexed)
+        nodes = []
+        for i in range(n):
+            node = Node(sim, i, manet_ip(i))
+            node.join_medium(medium)
+            nodes.append(node)
+        place_random(nodes, sim, area, area)
+        mediums.append(medium)
+        all_nodes.append(nodes)
+    return mediums[0], all_nodes[0], mediums[1], all_nodes[1]
+
+
+def assert_parity(fast_medium, fast_nodes, slow_medium, slow_nodes):
+    for fast_node, slow_node in zip(fast_nodes, slow_nodes):
+        fast = [n.node_id for n in fast_medium.neighbors(fast_node)]
+        slow = [n.node_id for n in slow_medium.neighbors(slow_node)]
+        assert fast == slow, f"neighbor mismatch for node {fast_node.node_id}"
+
+
+class TestParity:
+    def test_random_topology_parity(self):
+        assert_parity(*build_pair())
+
+    def test_parity_after_add_node(self):
+        fast_medium, fast_nodes, slow_medium, slow_nodes = build_pair(n=20)
+        for medium, nodes in ((fast_medium, fast_nodes), (slow_medium, slow_nodes)):
+            extra = Node(medium.sim, 99, manet_ip(99), position=(123.0, 45.0))
+            extra.join_medium(medium)
+            nodes.append(extra)
+        assert_parity(fast_medium, fast_nodes, slow_medium, slow_nodes)
+
+    def test_parity_after_remove_node(self):
+        fast_medium, fast_nodes, slow_medium, slow_nodes = build_pair(n=20)
+        for medium, nodes in ((fast_medium, fast_nodes), (slow_medium, slow_nodes)):
+            medium.remove_node(nodes.pop(7))
+            medium.remove_node(nodes.pop(0))
+        assert_parity(fast_medium, fast_nodes, slow_medium, slow_nodes)
+
+    def test_parity_under_mobility_steps(self):
+        fast_medium, fast_nodes, slow_medium, slow_nodes = build_pair(n=25)
+        for medium, nodes in ((fast_medium, fast_nodes), (slow_medium, slow_nodes)):
+            RandomWaypointMobility(
+                medium.sim, nodes, width=600.0, height=600.0, max_speed=20.0
+            ).start()
+        for t in (1.0, 5.0, 20.0):
+            fast_medium.sim.run(t)
+            slow_medium.sim.run(t)
+            assert_parity(fast_medium, fast_nodes, slow_medium, slow_nodes)
+
+    def test_parity_after_tx_range_change(self):
+        fast_medium, fast_nodes, slow_medium, slow_nodes = build_pair()
+        fast_medium.tx_range = 80.0
+        slow_medium.tx_range = 80.0
+        assert_parity(fast_medium, fast_nodes, slow_medium, slow_nodes)
+
+    def test_neighbors_cross_cell_boundaries(self, sim):
+        # Nodes just inside range but in different grid cells must be found.
+        medium = WirelessMedium(sim, tx_range=100.0)
+        a = Node(sim, 0, manet_ip(0), position=(99.0, 0.0))
+        b = Node(sim, 1, manet_ip(1), position=(101.0, 0.0))  # next cell over
+        c = Node(sim, 2, manet_ip(2), position=(99.0, 199.0))  # out of range
+        for node in (a, b, c):
+            node.join_medium(medium)
+        assert medium.neighbors(a) == [b]
+        assert medium.neighbors(b) == [a]
+
+    def test_negative_coordinates(self, sim):
+        medium = WirelessMedium(sim, tx_range=100.0)
+        a = Node(sim, 0, manet_ip(0), position=(-50.0, -50.0))
+        b = Node(sim, 1, manet_ip(1), position=(10.0, 10.0))
+        for node in (a, b):
+            node.join_medium(medium)
+        assert medium.neighbors(a) == [b]
+
+
+class TestCacheInvalidation:
+    def test_cache_reused_while_static(self, sim):
+        medium = WirelessMedium(sim, tx_range=100.0)
+        a = Node(sim, 0, manet_ip(0), position=(0.0, 0.0))
+        b = Node(sim, 1, manet_ip(1), position=(50.0, 0.0))
+        for node in (a, b):
+            node.join_medium(medium)
+        first = medium.neighbors(a)
+        assert medium.neighbors(a) is first  # cached list, no recompute
+
+    def test_position_write_invalidates(self, sim):
+        medium = WirelessMedium(sim, tx_range=100.0)
+        a = Node(sim, 0, manet_ip(0), position=(0.0, 0.0))
+        b = Node(sim, 1, manet_ip(1), position=(50.0, 0.0))
+        for node in (a, b):
+            node.join_medium(medium)
+        assert medium.neighbors(a) == [b]
+        epoch = medium.position_epoch
+        b.position = (500.0, 0.0)
+        assert medium.position_epoch > epoch
+        assert medium.neighbors(a) == []
+        b.position = (60.0, 0.0)
+        assert medium.neighbors(a) == [b]
+
+    def test_in_cell_move_still_invalidates(self, sim):
+        # Moving within the same grid cell changes distances and must not
+        # serve a stale cached list.
+        medium = WirelessMedium(sim, tx_range=100.0)
+        a = Node(sim, 0, manet_ip(0), position=(0.0, 0.0))
+        b = Node(sim, 1, manet_ip(1), position=(99.0, 0.0))
+        for node in (a, b):
+            node.join_medium(medium)
+        assert medium.neighbors(a) == [b]
+        # Stays in cell (0, 0) of the 100 m grid but leaves radio range
+        # (diagonal distance ~ 139 m).
+        b.position = (99.0, 99.0)
+        assert medium.neighbors(a) == []
+
+    def test_add_remove_invalidate(self, sim):
+        medium = WirelessMedium(sim, tx_range=100.0)
+        a = Node(sim, 0, manet_ip(0), position=(0.0, 0.0))
+        a.join_medium(medium)
+        assert medium.neighbors(a) == []
+        b = Node(sim, 1, manet_ip(1), position=(50.0, 0.0))
+        b.join_medium(medium)
+        assert medium.neighbors(a) == [b]
+        medium.remove_node(b)
+        assert medium.neighbors(a) == []
+
+    def test_non_member_query_not_cached(self, sim):
+        medium = WirelessMedium(sim, tx_range=100.0)
+        a = Node(sim, 0, manet_ip(0), position=(0.0, 0.0))
+        a.join_medium(medium)
+        ghost = Node(sim, 99, None, position=(10.0, 0.0))
+        assert medium.neighbors(ghost) == [a]
+        assert medium.neighbors(ghost) == [a]
+
+
+class TestBroadcastDeterminism:
+    def test_broadcast_rng_stream_identical_across_modes(self):
+        """Same seed + same frames => identical RNG state in both modes."""
+        states = []
+        for indexed in (True, False):
+            sim = Simulator(seed=7)
+            medium = WirelessMedium(
+                sim, tx_range=150.0, loss_rate=0.3, use_spatial_index=indexed
+            )
+            nodes = []
+            for i in range(20):
+                node = Node(sim, i, manet_ip(i))
+                node.join_medium(medium)
+                nodes.append(node)
+            place_random(nodes, sim, 400.0, 400.0)
+            from repro.netsim import Datagram, Packet, BROADCAST
+
+            for node in nodes:
+                medium.broadcast(
+                    node, Packet(node.ip, BROADCAST, Datagram(5060, 5060, b"x" * 40))
+                )
+            sim.run(1.0)
+            states.append((sim.rng.getstate(), sim.events_processed))
+        assert states[0] == states[1]

@@ -90,6 +90,79 @@ class TestCancellation:
         sim.run(1.0)
 
 
+class TestQueueHygiene:
+    def test_pending_events_counts_live_only(self):
+        sim = Simulator()
+        handles = [sim.schedule(0.1 * (i + 1), lambda: None) for i in range(10)]
+        assert sim.pending_events == 10
+        for handle in handles[:4]:
+            handle.cancel()
+        assert sim.pending_events == 6
+        sim.run(0.55)  # fires the 0.5 s event (0.1-0.4 s are tombstones)
+        assert sim.pending_events == 5
+
+    def test_cancel_after_fire_does_not_corrupt_counter(self):
+        sim = Simulator()
+        handle = sim.schedule(0.1, lambda: None)
+        sim.run(1.0)
+        assert sim.pending_events == 0
+        handle.cancel()
+        handle.cancel()
+        assert sim.pending_events == 0
+        assert sim.queue_size == 0
+
+    def test_heap_compaction_bounds_tombstones(self):
+        sim = Simulator()
+        for _ in range(50_000):
+            sim.schedule(1.0, lambda: None).cancel()
+        # Without compaction the heap would hold 50k tombstones.
+        assert sim.queue_size < Simulator.COMPACT_MIN_QUEUE
+        assert sim.pending_events == 0
+        assert sim.compactions > 0
+
+    def test_compaction_preserves_live_events_and_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0.5, fired.append, "b")
+        sim.schedule(0.2, fired.append, "a")
+        sim.schedule(0.9, fired.append, "c")
+        for _ in range(10_000):
+            sim.schedule(0.3, lambda: None).cancel()
+        assert sim.compactions > 0
+        assert sim.pending_events == 3
+        sim.run(1.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_periodic_stop_churn_stays_bounded(self):
+        sim = Simulator()
+        for _ in range(5_000):
+            sim.schedule_periodic(1.0, lambda: None).stop()
+        assert sim.queue_size < Simulator.COMPACT_MIN_QUEUE
+        assert sim.pending_events == 0
+
+    def test_compaction_invisible_to_event_stream(self):
+        """Same seed + same schedule => same firing trace with/without churn."""
+
+        def run(churn: bool):
+            sim = Simulator(seed=5)
+            trace = []
+
+            def tick(label):
+                trace.append((round(sim.now, 6), label))
+                if churn:
+                    # Schedule-and-cancel storms between real events.
+                    for _ in range(500):
+                        sim.schedule(0.01, lambda: None).cancel()
+                if len(trace) < 40:
+                    sim.schedule(sim.rng.uniform(0.01, 0.1), tick, len(trace))
+
+            sim.schedule(0.01, tick, 0)
+            sim.run(10.0)
+            return trace
+
+        assert run(churn=False) == run(churn=True)
+
+
 class TestPeriodic:
     def test_periodic_task_repeats(self):
         sim = Simulator()

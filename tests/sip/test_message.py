@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SipParseError
-from repro.sip import CSeq, Headers, SipRequest, SipResponse, Via, parse_message
+from repro.sip import CSeq, Headers, SipRequest, SipResponse, SipUri, Via, parse_message
 
 INVITE_WIRE = (
     b"INVITE sip:bob@voicehoc.ch SIP/2.0\r\n"
@@ -134,6 +134,59 @@ class TestParsing:
         request.body = b"12345"
         wire = request.serialize()
         assert b"Content-Length: 5" in wire
+
+
+class TestSerializeCache:
+    def test_unmodified_message_serializes_once(self):
+        message = parse_message(INVITE_WIRE)
+        wire = message.serialize()
+        assert message.serialize() is wire  # memoized, not rebuilt
+
+    def test_header_mutation_invalidates(self):
+        message = parse_message(INVITE_WIRE)
+        first = message.serialize()
+        message.headers.set("Max-Forwards", "69")
+        second = message.serialize()
+        assert second is not first
+        assert b"Max-Forwards: 69" in second
+        assert message.serialize() is second
+
+    def test_via_push_and_pop_invalidate(self):
+        message = parse_message(INVITE_WIRE)
+        message.serialize()
+        message.headers.insert_first("Via", "SIP/2.0/UDP 192.168.0.9;branch=z9hG4bK-2")
+        wire = message.serialize()
+        assert wire.index(b"192.168.0.9") < wire.index(b"192.168.0.1")
+        message.headers.remove_first("Via")
+        assert b"192.168.0.9" not in message.serialize()
+
+    def test_body_change_updates_content_length(self):
+        request = SipRequest("OPTIONS", "sip:h")
+        assert b"Content-Length: 0" in request.serialize()
+        request.body = b"12345"
+        assert b"Content-Length: 5" in request.serialize()
+
+    def test_request_uri_rewrite_invalidates(self):
+        request = SipRequest("INVITE", "sip:bob@voicehoc.ch")
+        request.serialize()
+        request.uri = SipUri.parse("sip:bob@192.168.0.7:5060")
+        assert request.serialize().startswith(b"INVITE sip:bob@192.168.0.7:5060")
+
+    def test_response_cache_round_trip(self):
+        response = SipResponse(200)
+        response.headers.add("Via", "SIP/2.0/UDP h;branch=z9hG4bK-1")
+        wire = response.serialize()
+        assert response.serialize() is wire
+        parsed = parse_message(wire)
+        assert parsed.status == 200
+
+    def test_headers_version_counts_mutations(self):
+        headers = Headers()
+        v0 = headers.version
+        headers.add("Via", "a")
+        headers.set("Via", "b")
+        headers.remove("Via")
+        assert headers.version == v0 + 3
 
     @pytest.mark.parametrize(
         "bad",
