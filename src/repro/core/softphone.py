@@ -10,7 +10,7 @@ happens in the SIPHoc proxy underneath.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.core.config import SipAccount

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 from repro.experiments import (
     ablation_discovery_table,
@@ -118,11 +117,9 @@ def main(argv: list[str] | None = None) -> int:
     for key in selected:
         description, quick, full, fn = ARTIFACTS[key]
         kwargs = full if args.full else quick
-        started = time.monotonic()
         table = fn(**kwargs)
-        elapsed = time.monotonic() - started
         print(table.format())
-        print(f"[{key}: {description} — {elapsed:.1f}s]")
+        print(f"[{key}: {description}]")
         print()
     return 0
 

@@ -11,7 +11,6 @@ node stack, and the flash-budget check.
 from __future__ import annotations
 
 import os
-import sys
 
 import repro
 from repro.core.stack import SiphocStack

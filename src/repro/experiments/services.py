@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from repro.experiments.tables import Table
 from repro.scenarios import ManetConfig, ManetScenario
-from repro.sip import CallState
 from repro.sip.pidf import ON_THE_PHONE
 
 

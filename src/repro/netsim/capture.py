@@ -17,12 +17,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Iterable
+from typing import Callable, Iterable
 
 from repro.netsim.packet import Packet
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.netsim.node import Node
 
 
 class Verdict(enum.Enum):

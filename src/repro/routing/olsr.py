@@ -280,7 +280,7 @@ class Olsr(RoutingProtocol):
         now = self.sim.now
         sym = set(self.symmetric_neighbors())
         coverage: dict[str, set[str]] = {}
-        for neighbor in sym:
+        for neighbor in sorted(sym):
             two_hop, expiry = self._two_hop.get(neighbor, (set(), 0.0))
             if expiry <= now:
                 continue
@@ -295,7 +295,7 @@ class Olsr(RoutingProtocol):
             providers = [n for n, cov in coverage.items() if target in cov]
             if len(providers) == 1:
                 mprs.add(providers[0])
-        for mpr in mprs:
+        for mpr in sorted(mprs):
             covered |= coverage.get(mpr, set())
         # Greedily add the neighbor covering the most remaining 2-hop nodes.
         while covered < to_cover:

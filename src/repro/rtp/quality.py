@@ -9,7 +9,6 @@ criterion behind the paper's scenarios.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.rtp.codecs import Codec

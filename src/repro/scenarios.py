@@ -8,7 +8,7 @@ placement, and call workload execution with metric collection.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.config import SipAccount
 from repro.core.provider import SipProvider

@@ -131,6 +131,29 @@ class Headers:
         self._items = [(n, v) for n, v in self._items if n != canonical]
         self._version += 1
 
+    def extend_last(self, name: str, continuation: str) -> None:
+        """Append folded-continuation text to the last field named ``name``.
+
+        Supports obsolete RFC 3261 header line folding during parsing.
+        Raises :class:`KeyError` if no field of that name exists.
+        """
+        canonical = canonical_header_name(name)
+        for index in range(len(self._items) - 1, -1, -1):
+            existing, value = self._items[index]
+            if existing == canonical:
+                self._items[index] = (canonical, f"{value} {continuation.strip()}")
+                self._version += 1
+                return
+        raise KeyError(name)
+
+    def bump_version(self) -> None:
+        """Invalidate serialization caches keyed on :attr:`version`.
+
+        Escape hatch for callers that changed header-derived state in a way
+        the mutator methods cannot see; prefer the mutators themselves.
+        """
+        self._version += 1
+
     def remove_first(self, name: str) -> str | None:
         canonical = canonical_header_name(name)
         for index, (existing, value) in enumerate(self._items):
@@ -413,15 +436,7 @@ def parse_message(data: bytes) -> SipRequest | SipResponse:
             continue
         if line[0] in " \t" and previous_name is not None:
             # Header line folding (obsolete but legal): append to previous.
-            name = previous_name
-            items = headers.items()
-            last_index = max(
-                index for index, (n, _) in enumerate(items) if n == canonical_header_name(name)
-            )
-            folded = items[last_index][1] + " " + line.strip()
-            items[last_index] = (canonical_header_name(name), folded)
-            headers._items = items
-            headers._version += 1
+            headers.extend_last(previous_name, line)
             continue
         if ":" not in line:
             raise SipParseError(f"malformed header line: {line!r}")

@@ -1,0 +1,11 @@
+"""CACHE001 positives: external writes to versioned private cache state."""
+
+
+def corrupt_headers(headers):
+    headers._version += 1
+    headers._items = []
+    headers._items.append(("Via", "SIP/2.0/UDP h"))
+
+
+def corrupt_wire(message):
+    message._wire = b""

@@ -1,0 +1,16 @@
+"""CACHE001 negatives: the owning class and the public mutation API."""
+
+
+class Headers:
+    def __init__(self):
+        self._items = []
+        self._version = 0
+
+    def add(self, name, value):
+        self._items.append((name, value))
+        self._version += 1
+
+
+def fold(headers, name, continuation):
+    headers.extend_last(name, continuation)
+    headers.bump_version()

@@ -1,0 +1,5 @@
+"""CACHE002 positive: moving a node without notifying the medium."""
+
+
+def teleport(node):
+    node._position = (5.0, 5.0)

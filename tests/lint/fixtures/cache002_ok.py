@@ -1,0 +1,18 @@
+"""CACHE002 negatives: the epoch-notifying setter and the owning class."""
+
+
+def move(node):
+    node.position = (5.0, 5.0)
+
+
+class Node:
+    def __init__(self, position):
+        self._position = position
+
+    @property
+    def position(self):
+        return self._position
+
+    @position.setter
+    def position(self, value):
+        self._position = value

@@ -1,0 +1,21 @@
+"""DET001 positives: wall-clock reads via module, from-import and alias."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def stamp():
+    return time.time()
+
+
+def tick():
+    return time.monotonic()
+
+
+def bench():
+    return perf_counter()
+
+
+def today():
+    return datetime.now()

@@ -1,0 +1,9 @@
+"""DET001 negatives: time flows from the simulator clock."""
+
+
+def now(sim):
+    return sim.now
+
+
+def schedule(sim, delay, callback):
+    return sim.schedule(delay, callback)

@@ -1,0 +1,19 @@
+"""DET002 positives: global RNG draws and un-seeded generators."""
+
+import random
+
+
+def jitter():
+    return random.random()
+
+
+def pick(items):
+    return random.choice(items)
+
+
+def fresh_rng():
+    return random.Random()
+
+
+def crypto_rng():
+    return random.SystemRandom()

@@ -1,0 +1,15 @@
+"""DET002 negatives: seeded generators and simulator-owned draws."""
+
+import random
+
+
+def seeded(seed):
+    return random.Random(seed)
+
+
+def keyword_seeded(seed):
+    return random.Random(x=seed)
+
+
+def draw(sim):
+    return sim.rng.uniform(0.0, 1.0)

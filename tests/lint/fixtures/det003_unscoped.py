@@ -1,0 +1,5 @@
+"""DET003 negative: same pattern outside netsim/, core/, routing/."""
+
+
+def anywhere(values: set[str]):
+    return list(values)

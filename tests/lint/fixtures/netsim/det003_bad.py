@@ -1,0 +1,26 @@
+"""DET003 positives: ordered iteration over bare sets in a scoped dir."""
+
+
+def visit_literal():
+    total = 0
+    for ip in {"192.168.0.1", "192.168.0.2"}:
+        total += len(ip)
+    return total
+
+
+def materialize(values: set[str]):
+    return list(values)
+
+
+def first_upper():
+    peers = {"alpha", "beta"}
+    return [peer.upper() for peer in peers]
+
+
+class Topology:
+    def __init__(self) -> None:
+        self.members: set[str] = set()
+
+    def walk(self):
+        for member in self.members:
+            yield member

@@ -1,0 +1,17 @@
+"""DET003 negatives: order-insensitive set usage in a scoped dir."""
+
+
+def stable(values: set[str]):
+    return sorted(values)
+
+
+def cardinality(values: set[str]):
+    return len(values)
+
+
+def contains(values: set[str], item):
+    return item in values
+
+
+def rebuild(values: set[str]):
+    return frozenset(values)

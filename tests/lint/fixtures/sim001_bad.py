@@ -1,0 +1,11 @@
+"""SIM001 positives: exact equality on simulation-time expressions."""
+
+
+def fire_exactly(sim, deadline):
+    if sim.now == deadline:
+        return True
+    return sim.now != deadline
+
+
+def expired(entry, now):
+    return entry.expires_at == now

@@ -1,0 +1,17 @@
+"""SIM001 negatives: bounds, tolerances, and non-time comparisons."""
+
+
+def due(sim, deadline):
+    return sim.now >= deadline
+
+
+def close_enough(now, deadline, tolerance=1e-9):
+    return abs(now - deadline) <= tolerance
+
+
+def unset(deadline):
+    return deadline == None  # noqa: E711 - None comparisons are exempt
+
+
+def method_match(method):
+    return method == "INVITE"

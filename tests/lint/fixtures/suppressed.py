@@ -1,0 +1,16 @@
+"""Suppression handling: matching id, blanket disable, and a wrong id."""
+
+import random
+import time
+
+
+def stamped():
+    return time.time()  # lint: disable=DET001
+
+
+def noisy():
+    return random.random()  # lint: disable
+
+
+def wrong_id():
+    return time.time()  # lint: disable=DET002

@@ -122,6 +122,17 @@ class TestParsing:
         assert message.reason == "Ringing"
         assert message.is_provisional and not message.is_final
 
+    def test_header_line_folding_uses_public_api(self):
+        wire = (
+            b"OPTIONS sip:h SIP/2.0\r\n"
+            b"Via: SIP/2.0/UDP h:5060;branch=z9hG4bK-1\r\n"
+            b"Subject: first part\r\n"
+            b" second part\r\n"
+            b"Call-ID: x\r\nCSeq: 1 OPTIONS\r\n\r\n"
+        )
+        message = parse_message(wire)
+        assert message.headers.get("Subject") == "first part second part"
+
     def test_serialize_parse_round_trip(self):
         message = parse_message(INVITE_WIRE)
         again = parse_message(message.serialize())
@@ -159,6 +170,28 @@ class TestSerializeCache:
         assert wire.index(b"192.168.0.9") < wire.index(b"192.168.0.1")
         message.headers.remove_first("Via")
         assert b"192.168.0.9" not in message.serialize()
+
+    def test_extend_last_invalidates(self):
+        message = parse_message(INVITE_WIRE)
+        first = message.serialize()
+        version_before = message.headers.version
+        message.headers.extend_last("Contact", ";expires=60")
+        assert message.headers.version > version_before
+        second = message.serialize()
+        assert second is not first
+        assert b"Contact: <sip:alice@192.168.0.1:5070> ;expires=60" in second
+        assert message.serialize() is second
+
+    def test_extend_last_unknown_header_raises(self):
+        message = parse_message(INVITE_WIRE)
+        with pytest.raises(KeyError):
+            message.headers.extend_last("Subject", "nope")
+
+    def test_bump_version_invalidates(self):
+        message = parse_message(INVITE_WIRE)
+        first = message.serialize()
+        message.headers.bump_version()
+        assert message.serialize() is not first
 
     def test_body_change_updates_content_length(self):
         request = SipRequest("OPTIONS", "sip:h")

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Repo gate: determinism lint, style lint, test suite — in order, failing fast.
+#
+# Usage: tools/check.sh
+#
+# ruff comes from the dev extra (`pip install -e '.[dev]'`); when it is not
+# installed the step is reported and skipped so the determinism lint and the
+# test suite still gate the change.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== repro.lint (determinism & cache coherence) =="
+python -m repro.lint src/
+
+echo "== ruff check =="
+if command -v ruff >/dev/null 2>&1; then
+    ruff check src/
+else
+    echo "ruff not installed (pip install -e '.[dev]') — skipped"
+fi
+
+echo "== pytest =="
+python -m pytest -x -q
