@@ -16,11 +16,47 @@ from __future__ import annotations
 
 import argparse
 import datetime
+import json
 import os
 import subprocess
 import sys
 
 REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+
+
+def print_percentile_table(output: str) -> None:
+    """Summarize the benchmark JSON: mean/p50/p95/p99/stddev per benchmark.
+
+    Per-round timings are in ``benchmarks[*].stats.data`` (present because
+    we pass ``--benchmark-save-data``); percentiles come from the same
+    :class:`repro.netsim.stats.SampleSeries` the simulator uses.
+    """
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.netsim.stats import SampleSeries
+
+    with open(output, encoding="utf-8") as fh:
+        report = json.load(fh)
+    benchmarks = report.get("benchmarks", [])
+    if not benchmarks:
+        return
+    name_width = max(len(b["name"]) for b in benchmarks)
+    header = (
+        f"{'benchmark':<{name_width}}  {'rounds':>6}  {'mean':>10}  "
+        f"{'p50':>10}  {'p95':>10}  {'p99':>10}  {'stddev':>10}"
+    )
+    print()
+    print(header)
+    print("-" * len(header))
+    for bench in benchmarks:
+        series = SampleSeries(list(bench["stats"].get("data") or []))
+        if not series.values:
+            continue
+        print(
+            f"{bench['name']:<{name_width}}  {series.count:>6}  "
+            f"{series.mean:>10.6f}  {series.percentile(50):>10.6f}  "
+            f"{series.percentile(95):>10.6f}  {series.percentile(99):>10.6f}  "
+            f"{series.stddev:>10.6f}"
+        )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -51,6 +87,7 @@ def main(argv: list[str] | None = None) -> int:
         target,
         "--benchmark-only",
         f"--benchmark-json={output}",
+        "--benchmark-save-data",
         "-q",
         *passthrough,
     ]
@@ -62,6 +99,7 @@ def main(argv: list[str] | None = None) -> int:
     print("+", " ".join(command))
     result = subprocess.run(command, cwd=REPO_ROOT, env=env)
     if result.returncode == 0:
+        print_percentile_table(output)
         print(f"benchmark JSON written to {output}")
     return result.returncode
 

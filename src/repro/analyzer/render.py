@@ -57,6 +57,66 @@ def render_capture(
     return "\n".join(rows)
 
 
+def render_ladder(
+    participants: Iterable[str],
+    arrows: Iterable[tuple[float, str, str, str]],
+) -> str:
+    """Text sequence ("ladder") diagram: lifelines plus labelled arrows.
+
+    ``participants`` are the ordered column identities; each ``arrow`` is
+    ``(time, src, dst, label)`` where src/dst name a participant. Arrows to
+    unknown participants are skipped; a self-arrow prints the label beside
+    the lifeline.
+    """
+    names = list(participants)
+    rows = list(arrows)
+    if not names:
+        return "(empty ladder: no participants)"
+    index = {name: i for i, name in enumerate(names)}
+    label_width = max((len(label) for _, _, _, label in rows), default=0)
+    name_width = max(len(name) for name in names)
+    col = max(label_width + 6, name_width + 2, 14)
+    centers = [i * col + col // 2 for i in range(len(names))]
+    width = len(names) * col
+    time_pad = " " * 12
+
+    def lifelines() -> list[str]:
+        chars = [" "] * width
+        for center in centers:
+            chars[center] = "|"
+        return chars
+
+    header = [" "] * width
+    for name, center in zip(names, centers):
+        start = min(max(center - len(name) // 2, 0), width - len(name))
+        header[start : start + len(name)] = name
+    lines = [time_pad + "".join(header).rstrip(), time_pad + "".join(lifelines()).rstrip()]
+
+    for time, src, dst, label in rows:
+        if src not in index or dst not in index:
+            continue
+        chars = lifelines()
+        a, b = centers[index[src]], centers[index[dst]]
+        if a == b:
+            tail = min(a + 2 + len(label), width)
+            chars[a + 2 : tail] = label[: tail - a - 2]
+        else:
+            lo, hi = min(a, b), max(a, b)
+            for x in range(lo + 1, hi):
+                chars[x] = "-"
+            if b > a:
+                chars[hi - 1] = ">"
+            else:
+                chars[lo + 1] = "<"
+            start = max(lo + 2, (lo + hi) // 2 - len(label) // 2)
+            for offset, ch in enumerate(label):
+                pos = start + offset
+                if lo + 1 < pos < hi - 1:
+                    chars[pos] = ch
+        lines.append(f"{time:>10.6f}  " + "".join(chars).rstrip())
+    return "\n".join(lines)
+
+
 def _protocol_and_info(dissection: Dissection) -> tuple[str, str]:
     for layer in reversed(dissection.layers):
         name = layer.name

@@ -55,6 +55,12 @@ class GatewayProvider:
             lifetime=self.advert_lifetime,
         )
         self.node.stats.increment("gateway.started")
+        tracer = self.node.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                "gateway.up", self.node.ip, wired=self.node.wired_ip,
+                url=str(self._service_url),
+            )
         return self
 
     def stop(self) -> None:
@@ -66,3 +72,6 @@ class GatewayProvider:
             self._service_url = None
         self.tunnel_server.close()
         self.tunnel_server = None
+        tracer = self.node.sim.tracer
+        if tracer is not None:
+            tracer.emit("gateway.down", self.node.ip)

@@ -103,6 +103,11 @@ class ManetSlp:
             origin=self.node.ip,
         )
         self._local[entry.key()] = entry
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                "slp.advertise", self.node.ip, url=str(entry.url), lifetime=life,
+            )
         self.handler.advertise(entry)
         self.node.stats.increment("manetslp.registrations")
         return entry
@@ -111,6 +116,9 @@ class ManetSlp:
         key = str(ServiceUrl.parse(url) if isinstance(url, str) else url)
         entry = self._local.pop(key, None)
         if entry is not None:
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.emit("slp.withdraw", self.node.ip, url=key)
             self.handler.withdraw(entry)
 
     def find_services(
@@ -129,12 +137,23 @@ class ManetSlp:
         """
         xid = next(self._xid)
         cb = callback or (lambda entries: None)
+        tracer = self.sim.tracer
         hits = self.lookup_cached(service_type, predicate)
         if hits:
             self.node.stats.increment("manetslp.cache_hits")
+            if tracer is not None:
+                tracer.emit(
+                    "slp.cache_hit", self.node.ip, service_type=service_type,
+                    xid=xid, results=len(hits),
+                )
             self.sim.schedule(0.0, cb, hits)
             return xid
         self.node.stats.increment("manetslp.cache_misses")
+        if tracer is not None:
+            tracer.emit(
+                "slp.query", self.node.ip, service_type=service_type,
+                predicate=predicate, xid=xid,
+            )
         pending = _PendingLookup(
             xid=xid,
             service_type=service_type,
@@ -215,6 +234,12 @@ class ManetSlp:
         if existing is None or entry.expires_at >= existing.expires_at:
             self._cache[entry.key()] = entry
         self.node.stats.increment("manetslp.entries_learned")
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                "slp.entry_learned", self.node.ip, url=entry.key(),
+                origin=entry.origin,
+            )
         for pending in list(self._pending.values()):
             if pending.done:
                 continue
@@ -235,13 +260,25 @@ class ManetSlp:
         if not results:
             # Last chance: something may have entered the cache meanwhile.
             results = self.lookup_cached(pending.service_type, pending.predicate)
+        tracer = self.sim.tracer
         if results:
             self.node.stats.increment("manetslp.lookups_resolved")
             self.node.stats.sample(
                 "manetslp.lookup_latency", self.sim.now - pending.started_at
             )
+            if tracer is not None:
+                tracer.emit(
+                    "slp.resolved", self.node.ip, xid=xid,
+                    service_type=pending.service_type, results=len(results),
+                    latency=self.sim.now - pending.started_at,
+                )
         else:
             self.node.stats.increment("manetslp.lookups_failed")
+            if tracer is not None:
+                tracer.emit(
+                    "slp.miss", self.node.ip, xid=xid,
+                    service_type=pending.service_type,
+                )
         pending.callback(results)
 
     def _refresh_local(self) -> None:

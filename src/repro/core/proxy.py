@@ -163,6 +163,9 @@ class SiphocProxy:
             ctx.respond(200)
             return
         self.location.register(aor, contact.uri, expires, self.sim.now)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit("sip.register", self.node.ip, aor=aor, expires=expires)
         # Step 2: advertise ourselves as the SIP endpoint for this user.
         self.manet_slp.register(
             self._contact_service_url(),
@@ -281,6 +284,12 @@ class SiphocProxy:
         contacts = self.location.lookup(aor, self.sim.now)
         if contacts:
             contact = contacts[0]
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.emit(
+                    "sip.route", self.node.ip, via="local", aor=aor,
+                    method=request.method,
+                )
             ctx.forward((contact.host, contact.effective_port()), uri=contact)
             return
         # Step 6: consult MANET SLP for the responsible proxy.
@@ -297,10 +306,16 @@ class SiphocProxy:
     ) -> None:
         if ctx.decided:
             return
+        tracer = self.sim.tracer
         remote = [entry for entry in entries if entry.url.host != self.node.ip]
         if remote:
             # Step 7: forward to the responsible proxy's SIP endpoint.
             target = remote[0].url
+            if tracer is not None:
+                tracer.emit(
+                    "sip.route", self.node.ip, via="manet", aor=aor,
+                    next_proxy=target.host,
+                )
             ctx.forward((target.host, target.port or self.config.proxy_port))
             self.node.stats.increment("siphoc.routed_in_manet")
             return
@@ -312,10 +327,17 @@ class SiphocProxy:
             caller_aor = from_.uri.address_of_record if from_ is not None else None
             destination = self._provider_destination(aor_uri.host, caller_aor)
             if destination is not None and self._wan_leg is not None:
+                if tracer is not None:
+                    tracer.emit(
+                        "sip.route", self.node.ip, via="internet", aor=aor,
+                        destination=destination[0],
+                    )
                 ctx.forward(destination, out_leg=self._wan_leg)
                 self.node.stats.increment("siphoc.routed_to_internet")
                 return
         self.node.stats.increment("siphoc.routing_failed")
+        if tracer is not None:
+            tracer.emit("sip.route_failed", self.node.ip, aor=aor)
         ctx.respond(404, "User Not Found In MANET")
 
     def _deliver_to_local_user(self, ctx: RoutingContext, uri: SipUri) -> None:

@@ -117,6 +117,7 @@ class TunnelServer:
         except CodecError:
             return
         if msg_type == CTRL_REQUEST:
+            tracer = self.sim.tracer
             lease = self._leases.get(src_ip)
             if lease is None:
                 tunnel_ip = self.cloud.allocate_ip()
@@ -129,8 +130,18 @@ class TunnelServer:
                 self._by_tunnel_ip[tunnel_ip] = lease
                 self.cloud.attach_endpoint(tunnel_ip, self._make_downstream(lease))
                 self.node.stats.increment("tunnel.leases_granted")
+                if tracer is not None:
+                    tracer.emit(
+                        "tunnel.lease", self.node.ip, client=src_ip,
+                        tunnel_ip=lease.tunnel_ip, renewed=False,
+                    )
             else:
                 lease.expires_at = self.sim.now + self.LEASE_TIME
+                if tracer is not None:
+                    tracer.emit(
+                        "tunnel.lease", self.node.ip, client=src_ip,
+                        tunnel_ip=lease.tunnel_ip, renewed=True,
+                    )
             self._ctrl_socket.send(
                 src_ip,
                 sport,
@@ -139,6 +150,12 @@ class TunnelServer:
         elif msg_type == CTRL_RELEASE:
             lease = self._leases.get(src_ip)
             if lease is not None:
+                tracer = self.sim.tracer
+                if tracer is not None:
+                    tracer.emit(
+                        "tunnel.release", self.node.ip, client=src_ip,
+                        tunnel_ip=lease.tunnel_ip,
+                    )
                 self._drop_lease(lease)
 
     def _drop_lease(self, lease: TunnelLease) -> None:
@@ -152,6 +169,12 @@ class TunnelServer:
             if lease.expires_at <= now:
                 self._drop_lease(lease)
                 self.node.stats.increment("tunnel.leases_expired")
+                tracer = self.sim.tracer
+                if tracer is not None:
+                    tracer.emit(
+                        "tunnel.lease_expired", self.node.ip,
+                        client=lease.client_manet_ip, tunnel_ip=lease.tunnel_ip,
+                    )
 
     # -- data plane ------------------------------------------------------------------
     def _on_upstream(self, data: bytes, src_ip: str, sport: int) -> None:
@@ -235,6 +258,12 @@ class TunnelClient:
             self.node.set_default_route("tunnel", self._upstream, priority=10)
             self._renew_task = self.sim.schedule_periodic(self.RENEW_INTERVAL, self._renew)
             self.node.stats.increment("tunnel.connected")
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.emit(
+                    "tunnel.connected", self.node.ip, tunnel_ip=address,
+                    gateway=self.gateway_ip,
+                )
             if self._connect_timer is not None:
                 self._connect_timer.cancel()
             if self._connect_callback is not None:
@@ -252,6 +281,12 @@ class TunnelClient:
             self._renew_task.stop()
         self._ctrl_socket.send(self.gateway_ip, PORT_SIPHOC_CTRL, _encode_ctrl(CTRL_RELEASE))
         if self.tunnel_ip is not None:
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.emit(
+                    "tunnel.disconnected", self.node.ip, tunnel_ip=self.tunnel_ip,
+                    gateway=self.gateway_ip,
+                )
             self.node.remove_local_address(self.tunnel_ip)
             self.node.clear_default_route("tunnel")
             self.tunnel_ip = None

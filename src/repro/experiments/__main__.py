@@ -13,6 +13,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+import repro.trace as trace
 from repro.experiments import (
     ablation_discovery_table,
     services_table,
@@ -100,6 +101,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("artifacts", nargs="*", help="artifact ids (default: all)")
     parser.add_argument("--full", action="store_true", help="full benchmark parameters")
     parser.add_argument("--list", action="store_true", help="list artifacts and exit")
+    parser.add_argument(
+        "--trace",
+        metavar="OUT.JSONL",
+        help="trace every scenario the selected artifacts build and write the "
+        "combined JSONL here (analyze with python -m repro.trace)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -114,13 +121,22 @@ def main(argv: list[str] | None = None) -> int:
         print(f"available: {', '.join(ARTIFACTS)}", file=sys.stderr)
         return 2
 
-    for key in selected:
-        description, quick, full, fn = ARTIFACTS[key]
-        kwargs = full if args.full else quick
-        table = fn(**kwargs)
-        print(table.format())
-        print(f"[{key}: {description}]")
-        print()
+    if args.trace:
+        trace.enable_default()
+    try:
+        for key in selected:
+            description, quick, full, fn = ARTIFACTS[key]
+            kwargs = full if args.full else quick
+            table = fn(**kwargs)
+            print(table.format())
+            print(f"[{key}: {description}]")
+            print()
+        if args.trace:
+            count = trace.export_registered(args.trace)
+            print(f"[trace: {count} events written to {args.trace}]")
+    finally:
+        if args.trace:
+            trace.disable_default()
     return 0
 
 

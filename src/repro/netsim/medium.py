@@ -230,12 +230,31 @@ class WirelessMedium:
         Each in-range neighbor independently receives (or loses) the frame.
         """
         self.stats.record_transmission(packet.dport, packet.size)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                "packet.tx",
+                sender.ip,
+                uid=packet.uid,
+                dst=packet.dst,
+                dport=packet.dport,
+                size=packet.size,
+                mode="broadcast",
+            )
         if self.energy is not None:
             self.energy.on_send(sender, packet)
         tx_time = self._tx_time(packet)
         delivered_any = False
         for neighbor in self.neighbors(sender):
             if self._lost():
+                if tracer is not None:
+                    tracer.emit(
+                        "packet.drop",
+                        sender.ip,
+                        uid=packet.uid,
+                        cause="loss",
+                        peer=neighbor.ip,
+                    )
                 continue
             delivered_any = True
             if self.energy is not None:
@@ -267,6 +286,18 @@ class WirelessMedium:
         TX-failure feedback that reactive routing protocols rely on).
         """
         self.stats.record_transmission(packet.dport, packet.size)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                "packet.tx",
+                sender.ip,
+                uid=packet.uid,
+                dst=packet.dst,
+                dport=packet.dport,
+                size=packet.size,
+                mode="unicast",
+                next_hop=next_hop_ip,
+            )
         receiver = self._by_ip.get(next_hop_ip)
         reachable = receiver is not None and self.in_range(sender, receiver)
         delivered = False
@@ -299,6 +330,15 @@ class WirelessMedium:
         )
         if not delivered:
             self.stats.increment("medium.unicast_failures")
+            if tracer is not None:
+                tracer.emit(
+                    "packet.drop",
+                    sender.ip,
+                    uid=packet.uid,
+                    cause="unreachable" if not reachable else "retries_exhausted",
+                    peer=next_hop_ip,
+                    attempts=attempts,
+                )
             if on_link_failure is not None:
                 # Failure is detected after the full retry sequence.
                 delay = attempts * self._tx_time(packet)

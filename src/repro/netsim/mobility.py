@@ -96,6 +96,12 @@ class RandomWaypointMobility:
         target = (self.sim.rng.uniform(0, self.width), self.sim.rng.uniform(0, self.height))
         speed = self.sim.rng.uniform(self.min_speed, self.max_speed)
         self._state[node.node_id] = {"target": target, "speed": speed, "pause_until": 0.0}
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                "mobility.waypoint", node.ip, x=target[0], y=target[1],
+                speed=speed,
+            )
 
     def _step(self) -> None:
         now = self.sim.now

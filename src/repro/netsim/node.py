@@ -214,19 +214,35 @@ class Node:
         if self.is_local_address(packet.dst):
             self._deliver(packet)
             return
+        tracer = self.sim.tracer
         if packet.ttl <= 0:
             self.stats.increment("ip.ttl_expired")
+            if tracer is not None:
+                tracer.emit(
+                    "packet.drop", self.ip, uid=packet.uid, cause="ttl_expired",
+                    dst=packet.dst,
+                )
             return
         if is_manet_address(packet.dst) and self.ip:
             if self.router is not None:
                 self.router.dispatch(packet)
             else:
                 self.stats.increment("ip.no_route")
+                if tracer is not None:
+                    tracer.emit(
+                        "packet.drop", self.ip, uid=packet.uid, cause="no_route",
+                        dst=packet.dst,
+                    )
             return
         if self._default_routes:
             self._default_routes[0].send(packet)
             return
         self.stats.increment("ip.no_route")
+        if tracer is not None:
+            tracer.emit(
+                "packet.drop", self.ip, uid=packet.uid, cause="no_route",
+                dst=packet.dst,
+            )
 
     def link_send(self, next_hop_ip: str, packet: Packet, on_link_failure=None) -> None:
         """Transmit one wireless hop (used by routing protocols)."""
@@ -245,10 +261,21 @@ class Node:
         if packet.dst == BROADCAST or self.is_local_address(packet.dst):
             mangled = self.hooks.run(Chain.INPUT, packet)
             if mangled is None:
+                tracer = self.sim.tracer
+                if tracer is not None:
+                    tracer.emit(
+                        "packet.drop", self.ip, uid=packet.uid, cause="hook_drop",
+                    )
                 return
             self._deliver(mangled, from_ip)
             return
         # We were the link-layer next hop of a transit packet: forward it.
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                "packet.forward", self.ip, uid=packet.uid, dst=packet.dst,
+                ttl=packet.ttl - 1,
+            )
         self.route_packet(packet.forwarded())
 
     def receive_wired(self, packet: Packet) -> None:
@@ -265,9 +292,20 @@ class Node:
 
     def _deliver(self, packet: Packet, from_ip: str | None = None) -> None:
         socket = self._sockets.get(packet.dport)
+        tracer = self.sim.tracer
         if socket is None or socket.closed:
             self.stats.increment("udp.port_unreachable")
+            if tracer is not None:
+                tracer.emit(
+                    "packet.drop", self.ip or self.wired_ip or "",
+                    uid=packet.uid, cause="port_unreachable", dport=packet.dport,
+                )
             return
+        if tracer is not None:
+            tracer.emit(
+                "packet.rx", self.ip or self.wired_ip or "",
+                uid=packet.uid, src=packet.src, dport=packet.dport,
+            )
         socket.handler(packet.data, packet.src, packet.sport)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

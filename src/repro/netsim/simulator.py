@@ -123,6 +123,9 @@ class Simulator:
         self._live = 0  # non-cancelled events currently in the queue
         self._tombstones = 0  # cancelled events still in the queue
         self._compactions = 0
+        # Optional repro.trace.TraceCollector; None means tracing is off and
+        # emission sites pay only this attribute read plus a None check.
+        self.tracer = None
 
     @property
     def now(self) -> float:

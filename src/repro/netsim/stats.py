@@ -31,6 +31,9 @@ class SampleSeries:
     """A collection of numeric samples with summary statistics."""
 
     values: list[float] = field(default_factory=list)
+    # Sorted-view cache for percentile(): values only ever grows through
+    # add(), so a cache keyed by length is sufficient to detect staleness.
+    _sorted: list[float] = field(default_factory=list, repr=False, compare=False)
 
     def add(self, value: float) -> None:
         self.values.append(value)
@@ -62,10 +65,17 @@ class SampleSeries:
         return math.sqrt(sum((v - mu) ** 2 for v in self.values) / (len(self.values) - 1))
 
     def percentile(self, pct: float) -> float:
-        """Nearest-rank percentile, ``pct`` in [0, 100]."""
+        """Nearest-rank percentile, ``pct`` in [0, 100].
+
+        The sorted view is cached and reused while no new samples arrive,
+        so querying several percentiles of the same series (p50/p95/p99 in
+        every summary) sorts once instead of once per query.
+        """
         if not self.values:
             return math.nan
-        ordered = sorted(self.values)
+        if len(self._sorted) != len(self.values):
+            self._sorted = sorted(self.values)
+        ordered = self._sorted
         rank = max(0, min(len(ordered) - 1, math.ceil(pct / 100.0 * len(ordered)) - 1))
         return ordered[rank]
 
@@ -145,6 +155,10 @@ class Stats:
                     "mean": series.mean,
                     "min": series.minimum,
                     "max": series.maximum,
+                    "p50": series.percentile(50),
+                    "p95": series.percentile(95),
+                    "p99": series.percentile(99),
+                    "stddev": series.stddev,
                 }
                 for name, series in sorted(self.samples.items())
             },

@@ -89,6 +89,14 @@ class Aodv(RoutingProtocol):
             self._refresh(route)
             self.node.link_send(route.next_hop, packet, self._on_link_failure)
             return
+        tracer = self.sim.tracer
+        if tracer is not None:
+            stale = self.table.get(packet.dst)
+            if stale is not None:
+                tracer.emit(
+                    "aodv.route_expired", self.node.ip, dest=packet.dst,
+                    valid=stale.valid,
+                )
         self._buffer_packet(packet)
 
     def _buffer_packet(self, packet: Packet) -> None:
@@ -124,6 +132,12 @@ class Aodv(RoutingProtocol):
         )
         self._mark_seen(self.node.ip, self._rreq_id)
         self.node.stats.increment("aodv.rreq_originated")
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                "aodv.rreq", self.node.ip, dest=dest, rreq_id=self._rreq_id,
+                retry=retry,
+            )
         self.send_control(BROADCAST, encode_aodv(rreq), ttl=self.NET_DIAMETER)
         timeout = self.NET_TRAVERSAL_TIME * (2**retry)
         pending = self._pending.get(dest)
@@ -141,6 +155,12 @@ class Aodv(RoutingProtocol):
         del self._pending[dest]
         self.node.stats.increment("aodv.discovery_failed")
         self.node.stats.increment("ip.no_route", len(pending.buffered))
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                "aodv.discovery_failed", self.node.ip, dest=dest,
+                dropped=len(pending.buffered),
+            )
 
     def discover(self, dest: str) -> None:
         """Proactively start a route discovery without sending data."""
@@ -208,6 +228,12 @@ class Aodv(RoutingProtocol):
             flags=rreq.flags,
         )
         self.node.stats.increment("aodv.rreq_forwarded")
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                "aodv.rreq_forward", self.node.ip, dest=rreq.dest_ip,
+                orig=rreq.orig_ip, rreq_id=rreq.rreq_id, hop_count=hop_count,
+            )
         self.send_control(
             BROADCAST, encode_aodv(forwarded, extensions), ttl=self.NET_DIAMETER
         )
@@ -224,6 +250,12 @@ class Aodv(RoutingProtocol):
             hop_count=hop_count_to_dest,
         )
         self.node.stats.increment("aodv.rrep_originated")
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                "aodv.rrep", self.node.ip, dest=rreq.dest_ip, orig=rreq.orig_ip,
+                hop_count=hop_count_to_dest, dest_seq=dest_seq,
+            )
         self.send_control(reverse.next_hop, encode_aodv(rrep), ttl=self.NET_DIAMETER)
 
     def _handle_rrep(self, rrep: Rrep, src_ip: str, extensions: list[Extension]) -> None:
@@ -256,6 +288,12 @@ class Aodv(RoutingProtocol):
             hop_count=hop_count,
         )
         self.node.stats.increment("aodv.rrep_forwarded")
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                "aodv.rrep_forward", self.node.ip, dest=rrep.dest_ip,
+                orig=rrep.orig_ip, hop_count=hop_count,
+            )
         self.send_control(
             reverse.next_hop, encode_aodv(forwarded, extensions), ttl=self.NET_DIAMETER
         )
@@ -265,6 +303,13 @@ class Aodv(RoutingProtocol):
         if pending is None:
             return
         self.node.stats.sample("aodv.discovery_latency", self.sim.now - pending.started_at)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                "aodv.discovery_complete", self.node.ip, dest=dest,
+                latency=self.sim.now - pending.started_at,
+                flushed=len(pending.buffered),
+            )
         for packet in pending.buffered:
             self.dispatch(packet)
 
@@ -279,6 +324,12 @@ class Aodv(RoutingProtocol):
             propagate.append((dest, route.seq_no))
         if propagate:
             self.node.stats.increment("aodv.rerr_forwarded")
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.emit(
+                    "aodv.rerr", self.node.ip, origin=False,
+                    unreachable=sorted(dest for dest, _ in propagate),
+                )
             self.send_control(BROADCAST, encode_aodv(Rerr(unreachable=propagate)), ttl=1)
 
     # -- link failure ---------------------------------------------------------------
@@ -292,6 +343,12 @@ class Aodv(RoutingProtocol):
             unreachable.append((route.destination, route.seq_no))
         if unreachable:
             self.node.stats.increment("aodv.rerr_originated")
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.emit(
+                    "aodv.rerr", self.node.ip, origin=True, failed_hop=next_hop,
+                    unreachable=sorted(dest for dest, _ in unreachable),
+                )
             self.send_control(BROADCAST, encode_aodv(Rerr(unreachable=unreachable)), ttl=1)
         if packet.dport == self.port:
             return  # do not re-discover for lost control traffic
@@ -341,6 +398,12 @@ class Aodv(RoutingProtocol):
                 existing.expires_at = max(existing.expires_at, now + lifetime)
                 return
         precursors = existing.precursors if existing is not None else set()
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                "aodv.route_update", self.node.ip, dest=dest, next_hop=next_hop,
+                hop_count=hop_count, seq_no=seq_no,
+            )
         self.table.upsert(
             Route(
                 destination=dest,

@@ -119,6 +119,9 @@ class Olsr(RoutingProtocol):
         if link is not None:
             link.sym_until = 0.0
             link.asym_until = 0.0
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit("olsr.link_failure", self.node.ip, peer=next_hop)
         self._dirty = True
         if packet.dport == self.port:
             return
@@ -162,6 +165,12 @@ class Olsr(RoutingProtocol):
             else:
                 continue
             links.setdefault(code, []).append(ip)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                "olsr.hello", self.node.ip,
+                links={str(code): sorted(ips) for code, ips in sorted(links.items())},
+            )
         body = encode_hello_body(HelloBody(links=links))
         message = OlsrMessage(
             msg_type=OLSR_HELLO,
@@ -178,6 +187,12 @@ class Olsr(RoutingProtocol):
         if not selectors:
             return
         self._ansn = (self._ansn + 1) & 0xFFFF
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                "olsr.tc", self.node.ip, ansn=self._ansn,
+                selectors=sorted(selectors),
+            )
         body = encode_tc_body(TcBody(ansn=self._ansn, neighbors=sorted(selectors)))
         message = OlsrMessage(
             msg_type=OLSR_TC,
@@ -308,6 +323,13 @@ class Olsr(RoutingProtocol):
                 break
             mprs.add(best)
             covered |= coverage[best]
+        if mprs != self._mpr_set:
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.emit(
+                    "olsr.mpr_change", self.node.ip,
+                    old=sorted(self._mpr_set), new=sorted(mprs),
+                )
         self._mpr_set = mprs
 
     # -- route calculation --------------------------------------------------------------------
@@ -364,6 +386,11 @@ class Olsr(RoutingProtocol):
                     )
                     next_frontier.append(peer)
             frontier = next_frontier
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                "olsr.route_recompute", self.node.ip, routes=len(self.table),
+            )
 
     # -- housekeeping ------------------------------------------------------------------------
     def _gc(self, now: float) -> None:

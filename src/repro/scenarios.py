@@ -28,6 +28,7 @@ from repro.netsim.packet import manet_ip
 from repro.netsim.simulator import Simulator
 from repro.netsim.stats import Stats
 from repro.sip.ua import CallState
+from repro.trace import collector as trace_collector
 
 DEFAULT_DOMAIN = "voicehoc.ch"
 
@@ -52,6 +53,8 @@ class ManetConfig:
     internet_gateways: int = 0  # how many nodes get wired attachments
     providers: tuple[str, ...] = ()
     strict_providers: tuple[str, ...] = ()  # providers mandating an SBC
+    tracing: bool = False  # attach a repro.trace collector to the simulator
+    trace_capacity: int = 65536  # trace ring-buffer size (events)
 
 
 class ManetScenario:
@@ -66,6 +69,17 @@ class ManetScenario:
         self.config = base
         self.sim = Simulator(seed=base.seed)
         self.stats = Stats()
+        # Tracing attaches before any stack is built so construction-time
+        # events (gateway.up, slp.advertise, ...) are captured too. The
+        # process-wide default (repro.trace.enable_default) is how
+        # `python -m repro.experiments --trace` opts in without reaching
+        # into every scenario constructor.
+        self.trace: trace_collector.TraceCollector | None = None
+        default_cap = trace_collector.default_capacity()
+        if base.tracing or default_cap is not None:
+            capacity = base.trace_capacity if base.tracing else default_cap
+            self.trace = trace_collector.TraceCollector(capacity=capacity).attach(self.sim)
+            trace_collector.register(self.trace)
         self.medium = WirelessMedium(
             self.sim,
             stats=self.stats,

@@ -51,12 +51,33 @@ class TxnState(enum.Enum):
 class _Transaction:
     """Timer bookkeeping shared by client and server transactions."""
 
+    role = "txn"
+
     def __init__(self, layer: "TransactionLayer", key: tuple[str, str]) -> None:
         self.layer = layer
         self.sim: Simulator = layer.sim
         self.key = key
         self.state = TxnState.TRYING
         self._timers: list[EventHandle] = []
+
+    def _set_state(self, new_state: TxnState) -> None:
+        """State-machine edge; traces every transition when tracing is on."""
+        old = self.state
+        if old is new_state:
+            return
+        self.state = new_state
+        tracer = self.sim.tracer
+        if tracer is not None:
+            node = self.layer.transport.node
+            tracer.emit(
+                "sip.txn_state",
+                node.ip or node.wired_ip or "",
+                branch=self.key[0],
+                method=self.key[1],
+                role=self.role,
+                old=old.value,
+                new=new_state.value,
+            )
 
     def _after(self, delay: float, callback: Callable[[], None]) -> EventHandle:
         handle = self.sim.schedule(delay, self._guarded, callback)
@@ -70,7 +91,7 @@ class _Transaction:
     def terminate(self) -> None:
         if self.state is TxnState.TERMINATED:
             return
-        self.state = TxnState.TERMINATED
+        self._set_state(TxnState.TERMINATED)
         for handle in self._timers:
             handle.cancel()
         self._timers.clear()
@@ -79,6 +100,8 @@ class _Transaction:
 
 class ClientTransaction(_Transaction):
     """A client transaction: owns request retransmission and timeouts."""
+
+    role = "client"
 
     def __init__(
         self,
@@ -132,7 +155,7 @@ class ClientTransaction(_Transaction):
             return
         if response.is_provisional:
             if self.state in (TxnState.CALLING, TxnState.TRYING):
-                self.state = TxnState.PROCEEDING
+                self._set_state(TxnState.PROCEEDING)
                 if not self.is_invite:
                     self._after(T2, self._retransmit)
             self.on_response(response)
@@ -144,7 +167,7 @@ class ClientTransaction(_Transaction):
                 self.on_response(response)
                 return
             if self.state is not TxnState.COMPLETED:
-                self.state = TxnState.COMPLETED
+                self._set_state(TxnState.COMPLETED)
                 self._send_non2xx_ack(response)
                 self.on_response(response)
                 self._after(TIMER_D, self.terminate)
@@ -152,7 +175,7 @@ class ClientTransaction(_Transaction):
                 self._send_non2xx_ack(response)  # absorb retransmission
             return
         if self.state is not TxnState.COMPLETED:
-            self.state = TxnState.COMPLETED
+            self._set_state(TxnState.COMPLETED)
             self.on_response(response)
             self._after(T4, self.terminate)
 
@@ -177,6 +200,8 @@ class ClientTransaction(_Transaction):
 class ServerTransaction(_Transaction):
     """A server transaction: absorbs retransmissions, resends final responses."""
 
+    role = "server"
+
     def __init__(
         self, layer: "TransactionLayer", request: SipRequest, source: Address
     ) -> None:
@@ -195,18 +220,18 @@ class ServerTransaction(_Transaction):
         self.layer.transport.send_response(response)
         if response.is_provisional:
             if not self.is_invite:
-                self.state = TxnState.PROCEEDING
+                self._set_state(TxnState.PROCEEDING)
             return
         if self.is_invite:
             if response.is_success:
-                self.state = TxnState.ACCEPTED
+                self._set_state(TxnState.ACCEPTED)
                 self._after(TIMER_L, self.terminate)
             else:
-                self.state = TxnState.COMPLETED
+                self._set_state(TxnState.COMPLETED)
                 self._after(self._g_interval, self._retransmit_final)
                 self._after(TIMER_H, self.terminate)
         else:
-            self.state = TxnState.COMPLETED
+            self._set_state(TxnState.COMPLETED)
             self._after(TIMER_J, self.terminate)
 
     def _retransmit_final(self) -> None:
@@ -219,7 +244,7 @@ class ServerTransaction(_Transaction):
     def receive_retransmission(self, request: SipRequest) -> None:
         if request.method == "ACK":
             if self.state is TxnState.COMPLETED:
-                self.state = TxnState.CONFIRMED
+                self._set_state(TxnState.CONFIRMED)
                 self._after(T4, self.terminate)
             elif self.state is TxnState.ACCEPTED:
                 self.terminate()

@@ -58,10 +58,30 @@ class SipTransport:
     def close(self) -> None:
         self._socket.close()
 
+    def _describe_message(self, message: SipMessage) -> dict[str, object]:
+        cseq = message.cseq
+        detail: dict[str, object] = {"call_id": message.call_id or ""}
+        if cseq is not None:
+            detail["cseq"] = cseq.method
+        if isinstance(message, SipRequest):
+            detail["method"] = message.method
+        elif isinstance(message, SipResponse):
+            detail["status"] = message.status
+        return detail
+
     # -- sending -----------------------------------------------------------
     def send(self, message: SipMessage, destination: Address) -> None:
         dst_ip, dst_port = destination
         self.messages_sent += 1
+        tracer = self.node.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                "sip.msg_tx",
+                self.node.ip or self.node.wired_ip or "",
+                src=f"{self.address}:{self.port}",
+                dst=f"{dst_ip}:{dst_port}",
+                **self._describe_message(message),
+            )
         self.node.send_udp(dst_ip, self.port, dst_port, message.serialize())
 
     def send_request(self, request: SipRequest, destination: Address) -> None:
@@ -87,5 +107,14 @@ class SipTransport:
             self.node.stats.increment("sip.parse_errors")
             return
         self.messages_received += 1
+        tracer = self.node.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                "sip.msg_rx",
+                self.node.ip or self.node.wired_ip or "",
+                src=f"{src_ip}:{src_port}",
+                dst=f"{self.address}:{self.port}",
+                **self._describe_message(message),
+            )
         if self._receiver is not None:
             self._receiver(message, (src_ip, src_port))

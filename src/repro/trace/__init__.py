@@ -1,0 +1,48 @@
+"""repro.trace — deterministic structured event tracing for the SIPHoc stack.
+
+A :class:`TraceCollector` attaches to a :class:`~repro.netsim.simulator.
+Simulator` (opt in via ``ManetConfig(tracing=True)`` or ``collector.attach(
+sim)``) and records typed :class:`TraceEvent` observations from emission
+points across the medium, routing daemons, MANET SLP, the SIPHoc proxy,
+tunnel/gateway providers, and SIP endpoints. Traces export to JSONL and
+feed the analysis passes in :mod:`repro.trace.analysis`, the SIP ladder
+diagrams in :mod:`repro.trace.ladder`, and the ``python -m repro.trace``
+CLI. Timestamps always come from ``Simulator.now``, so seeded runs
+produce byte-identical trace files.
+"""
+
+from repro.trace.collector import (
+    DEFAULT_CAPACITY,
+    TraceCollector,
+    default_capacity,
+    disable_default,
+    enable_default,
+    export_registered,
+    read_jsonl,
+    register,
+)
+from repro.trace.events import (
+    CATEGORIES,
+    EVENT_KINDS,
+    TraceError,
+    TraceEvent,
+    parse_jsonl_line,
+    validate_event_dict,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "DEFAULT_CAPACITY",
+    "EVENT_KINDS",
+    "TraceCollector",
+    "TraceError",
+    "TraceEvent",
+    "default_capacity",
+    "disable_default",
+    "enable_default",
+    "export_registered",
+    "parse_jsonl_line",
+    "read_jsonl",
+    "register",
+    "validate_event_dict",
+]

@@ -1,0 +1,226 @@
+"""Analysis passes over trace event streams.
+
+Everything here is pure: functions take a list of :class:`TraceEvent`
+records (from a live collector or re-read from JSONL) and return plain
+data or rendered text. Three passes are provided:
+
+* :func:`summarize` — counts by category/kind/node plus drop causes,
+  the dashboard view of a run;
+* :func:`timeline` / :func:`render_timeline` — chronological per-node or
+  per-category event listing;
+* :func:`reconstruct_packets` — packet-lifecycle reconstruction, stitching
+  ``packet.tx`` → ``packet.forward`` hops → ``packet.rx``/``packet.drop``
+  by the packet ``uid`` that forwarding preserves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.trace.events import TraceEvent
+
+
+def filter_events(
+    events: Iterable[TraceEvent],
+    kinds: Sequence[str] = (),
+    categories: Sequence[str] = (),
+    nodes: Sequence[str] = (),
+    t_min: float | None = None,
+    t_max: float | None = None,
+) -> list[TraceEvent]:
+    """Events passing every given criterion (empty criterion = no filter)."""
+    kind_set = set(kinds)
+    category_set = set(categories)
+    node_set = set(nodes)
+    out = []
+    for event in events:
+        if kind_set and event.kind not in kind_set:
+            continue
+        if category_set and event.category not in category_set:
+            continue
+        if node_set and event.node not in node_set:
+            continue
+        if t_min is not None and event.t < t_min:
+            continue
+        if t_max is not None and event.t > t_max:
+            continue
+        out.append(event)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Summary
+# ---------------------------------------------------------------------------
+
+def summarize(events: Sequence[TraceEvent]) -> dict[str, object]:
+    """Aggregate counts: total/time-span, by category, kind, node, drop cause."""
+    by_category: dict[str, int] = {}
+    by_kind: dict[str, int] = {}
+    by_node: dict[str, int] = {}
+    drop_causes: dict[str, int] = {}
+    for event in events:
+        by_category[event.category] = by_category.get(event.category, 0) + 1
+        by_kind[event.kind] = by_kind.get(event.kind, 0) + 1
+        if event.node:
+            by_node[event.node] = by_node.get(event.node, 0) + 1
+        if event.kind == "packet.drop":
+            cause = str(event.detail.get("cause", "unknown"))
+            drop_causes[cause] = drop_causes.get(cause, 0) + 1
+    return {
+        "total": len(events),
+        "t_first": events[0].t if events else None,
+        "t_last": events[-1].t if events else None,
+        "by_category": dict(sorted(by_category.items())),
+        "by_kind": dict(sorted(by_kind.items())),
+        "by_node": dict(sorted(by_node.items())),
+        "drop_causes": dict(sorted(drop_causes.items())),
+    }
+
+
+def render_summary(summary: dict[str, object]) -> str:
+    lines = [f"events: {summary['total']}"]
+    if summary["t_first"] is not None:
+        lines.append(
+            f"span:   {summary['t_first']:.6f} .. {summary['t_last']:.6f} "
+            f"({float(summary['t_last']) - float(summary['t_first']):.6f}s)"  # type: ignore[arg-type]
+        )
+    lines.append("by category:")
+    for category, count in summary["by_category"].items():  # type: ignore[union-attr]
+        lines.append(f"  {category:<10} {count:>7}")
+    lines.append("by kind:")
+    for kind, count in summary["by_kind"].items():  # type: ignore[union-attr]
+        lines.append(f"  {kind:<26} {count:>7}")
+    drop_causes: dict[str, int] = summary["drop_causes"]  # type: ignore[assignment]
+    if drop_causes:
+        lines.append("drop causes:")
+        for cause, count in drop_causes.items():
+            lines.append(f"  {cause:<26} {count:>7}")
+    by_node: dict[str, int] = summary["by_node"]  # type: ignore[assignment]
+    if by_node:
+        lines.append("busiest nodes:")
+        busiest = sorted(by_node.items(), key=lambda item: (-item[1], item[0]))[:10]
+        for node, count in busiest:
+            lines.append(f"  {node:<26} {count:>7}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Timeline
+# ---------------------------------------------------------------------------
+
+def timeline(
+    events: Iterable[TraceEvent],
+    node: str | None = None,
+    category: str | None = None,
+) -> list[TraceEvent]:
+    """Chronological slice of a trace, optionally per-node or per-category."""
+    selected = filter_events(
+        events,
+        nodes=(node,) if node else (),
+        categories=(category,) if category else (),
+    )
+    selected.sort(key=lambda event: (event.t, event.seq))
+    return selected
+
+
+def _compact_detail(detail: dict[str, object]) -> str:
+    return " ".join(f"{key}={detail[key]}" for key in sorted(detail))
+
+
+def render_timeline(events: Sequence[TraceEvent]) -> str:
+    """One row per event: time, node, kind, compact detail."""
+    if not events:
+        return "(no events)"
+    node_width = max(len(event.node) for event in events)
+    rows = []
+    for event in events:
+        rows.append(
+            f"{event.t:>12.6f}  {event.node:<{node_width}}  "
+            f"{event.kind:<24}  {_compact_detail(event.detail)}".rstrip()
+        )
+    return "\n".join(rows)
+
+
+# ---------------------------------------------------------------------------
+# Packet lifecycle reconstruction
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PacketLifecycle:
+    """The reconstructed journey of one packet uid: tx → hops → rx/drop."""
+
+    uid: int
+    src: str = ""
+    dst: str = ""
+    dport: int | None = None
+    t_tx: float | None = None
+    t_end: float | None = None
+    hops: list[str] = field(default_factory=list)  #: forwarding nodes, in order
+    outcome: str = "in-flight"  #: "rx" | "drop" | "in-flight"
+    cause: str | None = None  #: drop cause when outcome == "drop"
+    receiver: str = ""
+
+    @property
+    def latency(self) -> float | None:
+        """End-to-end time from first tx to delivery (rx outcomes only)."""
+        if self.outcome != "rx" or self.t_tx is None or self.t_end is None:
+            return None
+        return self.t_end - self.t_tx
+
+    def describe(self) -> str:
+        path = " -> ".join([self.src, *self.hops, self.receiver or self.dst])
+        if self.outcome == "rx":
+            extra = f"delivered in {self.latency:.6f}s" if self.latency is not None else "delivered"
+        elif self.outcome == "drop":
+            extra = f"dropped ({self.cause})"
+        else:
+            extra = "in flight at end of trace"
+        port = f":{self.dport}" if self.dport is not None else ""
+        return f"#{self.uid} {path}{port}  [{extra}]"
+
+
+def reconstruct_packets(events: Iterable[TraceEvent]) -> list[PacketLifecycle]:
+    """Stitch packet.* events into per-uid lifecycles, ordered by first tx.
+
+    Broadcast packets can be received by several nodes; the lifecycle keeps
+    the first delivery as the outcome (later deliveries do not reopen it).
+    """
+    lifecycles: dict[int, PacketLifecycle] = {}
+    for event in events:
+        if event.category != "packet":
+            continue
+        raw_uid = event.detail.get("uid")
+        if not isinstance(raw_uid, int):
+            continue
+        life = lifecycles.setdefault(raw_uid, PacketLifecycle(uid=raw_uid))
+        if event.kind == "packet.tx":
+            if life.t_tx is None:
+                life.t_tx = event.t
+                life.src = event.node
+                life.dst = str(event.detail.get("dst", ""))
+                dport = event.detail.get("dport")
+                life.dport = dport if isinstance(dport, int) else None
+        elif event.kind == "packet.forward":
+            life.hops.append(event.node)
+        elif event.kind == "packet.rx":
+            if life.outcome == "in-flight":
+                life.outcome = "rx"
+                life.receiver = event.node
+                life.t_end = event.t
+        elif event.kind == "packet.drop":
+            if life.outcome == "in-flight":
+                life.outcome = "drop"
+                life.cause = str(event.detail.get("cause", "unknown"))
+                life.t_end = event.t
+    ordered = sorted(
+        lifecycles.values(),
+        key=lambda life: (life.t_tx if life.t_tx is not None else float("inf"), life.uid),
+    )
+    return ordered
+
+
+def render_packet_lifecycles(lifecycles: Sequence[PacketLifecycle]) -> str:
+    if not lifecycles:
+        return "(no packet events)"
+    return "\n".join(life.describe() for life in lifecycles)

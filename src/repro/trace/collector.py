@@ -1,0 +1,203 @@
+"""The trace collector: a bounded ring buffer of :class:`TraceEvent` records.
+
+One collector attaches to one :class:`~repro.netsim.simulator.Simulator`
+(``sim.tracer``). Emission points across the stack do::
+
+    tracer = self.sim.tracer
+    if tracer is not None:
+        tracer.emit("aodv.rreq", self.node.ip, dest=dest)
+
+so a simulation with tracing off pays exactly one attribute read and a
+``None`` check per potential event — nothing is formatted or allocated.
+
+Determinism contract: the collector never schedules simulator events,
+never draws randomness, and stamps every event with ``sim.now`` plus its
+own monotonic sequence counter; two seeded runs therefore export
+byte-identical JSONL (enforced by ``tests/trace/test_determinism.py``).
+
+The ring buffer is bounded (``capacity`` events, default 65536): long runs
+keep the most recent window, and :attr:`dropped` says how many older
+events were evicted.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, TextIO
+
+from repro.trace.events import EVENT_KINDS, TraceEvent, parse_jsonl_line
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.netsim.simulator import Simulator
+
+DEFAULT_CAPACITY = 65536
+
+
+class TraceCollector:
+    """Simulation-time structured event bus with a bounded ring buffer."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, label: str = "") -> None:
+        if capacity <= 0:
+            raise ValueError(f"trace capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.label = label
+        self.enabled = True
+        self._sim: "Simulator | None" = None
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self._seq = 0
+        self.emitted = 0  # total events ever emitted (>= len(self))
+
+    # -- attachment ---------------------------------------------------------
+    def attach(self, sim: "Simulator") -> "TraceCollector":
+        """Install this collector as ``sim.tracer``; returns self."""
+        self._sim = sim
+        sim.tracer = self
+        return self
+
+    def detach(self) -> None:
+        if self._sim is not None and self._sim.tracer is self:
+            self._sim.tracer = None
+        self._sim = None
+
+    @property
+    def sim(self) -> "Simulator | None":
+        return self._sim
+
+    # -- emission -----------------------------------------------------------
+    def emit(self, kind: str, node: str = "", **detail: object) -> None:
+        """Record one event at the current simulation time.
+
+        ``kind`` must be registered in :data:`~repro.trace.events.EVENT_KINDS`
+        — an unknown kind is a programming error at the emission point, not
+        a runtime condition, so it raises immediately.
+        """
+        if not self.enabled:
+            return
+        if kind not in EVENT_KINDS:
+            raise KeyError(f"unregistered trace event kind {kind!r}")
+        sim = self._sim
+        now = sim.now if sim is not None else 0.0
+        self._seq += 1
+        self.emitted += 1
+        self._events.append(TraceEvent(t=now, seq=self._seq, kind=kind, node=node, detail=detail))
+
+    # -- access -------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        return list(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring buffer since creation/clear."""
+        return self.emitted - len(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.emitted = 0
+        self._seq = 0
+
+    def select(
+        self,
+        kind: str | None = None,
+        category: str | None = None,
+        node: str | None = None,
+        predicate: Callable[[TraceEvent], bool] | None = None,
+    ) -> list[TraceEvent]:
+        """Events matching all given criteria, in emission order."""
+        out = []
+        for event in self._events:
+            if kind is not None and event.kind != kind:
+                continue
+            if category is not None and event.category != category:
+                continue
+            if node is not None and event.node != node:
+                continue
+            if predicate is not None and not predicate(event):
+                continue
+            out.append(event)
+        return out
+
+    # -- JSONL export / import ----------------------------------------------
+    def export_jsonl(self) -> str:
+        """The buffered events as JSONL text (one event per line)."""
+        return "".join(event.to_json_line() + "\n" for event in self._events)
+
+    def write_jsonl(self, target: str | TextIO) -> int:
+        """Write the buffer to a path or file object; returns event count."""
+        text = self.export_jsonl()
+        if hasattr(target, "write"):
+            target.write(text)  # type: ignore[union-attr]
+        else:
+            with open(target, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        return len(self._events)
+
+
+def read_jsonl(source: str | Iterable[str]) -> list[TraceEvent]:
+    """Load events from a JSONL path or an iterable of lines, validated."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    else:
+        lines = list(source)
+    return [parse_jsonl_line(line) for line in lines if line.strip()]
+
+
+# ---------------------------------------------------------------------------
+# Process-wide default tracing (the experiments --trace plumbing)
+# ---------------------------------------------------------------------------
+
+_default_capacity: int | None = None
+_registered: list[TraceCollector] = []
+
+
+def enable_default(capacity: int = DEFAULT_CAPACITY) -> None:
+    """Opt every subsequently built :class:`ManetScenario` into tracing.
+
+    Used by ``python -m repro.experiments --trace out.jsonl`` so the
+    experiment harness can trace scenarios it does not construct itself.
+    """
+    global _default_capacity
+    _default_capacity = capacity
+    _registered.clear()
+
+
+def disable_default() -> None:
+    global _default_capacity
+    _default_capacity = None
+    _registered.clear()
+
+
+def default_capacity() -> int | None:
+    """The opt-in default capacity, or None when default tracing is off."""
+    return _default_capacity
+
+
+def register(collector: TraceCollector) -> None:
+    """Track a collector for :func:`export_registered` (default mode only)."""
+    if _default_capacity is not None:
+        _registered.append(collector)
+
+
+def export_registered(target: str | TextIO) -> int:
+    """Concatenate every registered collector's buffer into one JSONL file.
+
+    Collectors are exported in registration (scenario construction) order;
+    each block stays internally ordered by its own (t, seq). Returns the
+    total event count written.
+    """
+    total = 0
+    if hasattr(target, "write"):
+        for collector in _registered:
+            total += collector.write_jsonl(target)  # type: ignore[arg-type]
+        return total
+    with open(target, "w", encoding="utf-8") as handle:
+        for collector in _registered:
+            total += collector.write_jsonl(handle)
+    return total

@@ -1,0 +1,77 @@
+"""SIP call-flow ladder diagrams from trace events.
+
+Builds the classic RFC-style sequence diagram (the view used throughout
+the SIPHoc paper's call-flow figures) out of ``sip.msg_tx`` events, which
+the :class:`~repro.sip.transport.SipTransport` choke point emits for every
+message an endpoint sends. Rendering is delegated to the generic
+:func:`repro.analyzer.render.render_ladder` machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.analyzer.render import render_ladder
+from repro.trace.events import TraceEvent
+
+Arrow = tuple[float, str, str, str]
+
+
+def _arrow_label(detail: dict[str, object]) -> str:
+    method = detail.get("method")
+    if method:
+        return str(method)
+    status = detail.get("status")
+    cseq = detail.get("cseq")
+    label = str(status) if status is not None else "?"
+    if cseq:
+        label = f"{label} ({cseq})"
+    return label
+
+
+def build_sip_flow(
+    events: Iterable[TraceEvent],
+    call_id: str | None = None,
+) -> tuple[list[str], list[Arrow]]:
+    """Participants (in order of first appearance) and arrows of a SIP flow.
+
+    Each ``sip.msg_tx`` event becomes one arrow ``(t, src, dst, label)``
+    with participants identified as ``ip:port``. ``call_id`` restricts the
+    flow to one dialog when several calls share a trace.
+    """
+    participants: list[str] = []
+    arrows: list[Arrow] = []
+    for event in events:
+        if event.kind != "sip.msg_tx":
+            continue
+        if call_id is not None and event.detail.get("call_id") != call_id:
+            continue
+        src = str(event.detail.get("src", ""))
+        dst = str(event.detail.get("dst", ""))
+        if not src or not dst:
+            continue
+        for endpoint in (src, dst):
+            if endpoint not in participants:
+                participants.append(endpoint)
+        arrows.append((event.t, src, dst, _arrow_label(event.detail)))
+    return participants, arrows
+
+
+def call_ids(events: Iterable[TraceEvent]) -> list[str]:
+    """Distinct SIP Call-IDs seen in a trace, in order of first appearance."""
+    seen: list[str] = []
+    for event in events:
+        if event.kind != "sip.msg_tx":
+            continue
+        cid = event.detail.get("call_id")
+        if isinstance(cid, str) and cid and cid not in seen:
+            seen.append(cid)
+    return seen
+
+
+def sip_ladder(events: Sequence[TraceEvent], call_id: str | None = None) -> str:
+    """Render the SIP call-flow ladder for a trace (optionally one dialog)."""
+    participants, arrows = build_sip_flow(events, call_id)
+    if not arrows:
+        return "(no sip.msg_tx events in trace — was tracing enabled?)"
+    return render_ladder(participants, arrows)

@@ -2,32 +2,52 @@
 
 import math
 
+import pytest
+
 from repro.netsim import SampleSeries, Stats
+from repro.netsim.packet import PORT_AODV, PORT_OLSR, PORT_SIP, PORT_SLP
 from repro.netsim.stats import traffic_class_for_port
+
+#: (port, expected class) — every labelled port plus each range boundary.
+TRAFFIC_CLASS_TABLE = [
+    # labelled well-known ports
+    (PORT_AODV, "aodv"),
+    (PORT_OLSR, "olsr"),
+    (PORT_SLP, "slp"),
+    (PORT_SIP, "sip"),
+    # RTP range [16384, 32768): both edges, interior, and both off-by-ones
+    (16383, "other"),
+    (16384, "rtp"),
+    (30000, "rtp"),
+    (32767, "rtp"),
+    (32768, "other"),
+    # SIPHoc control ports and the baseline-scheme ports
+    (5062, "siphoc"),
+    (5063, "siphoc"),
+    (5065, "flooding-register"),
+    (5066, "proactive-hello"),
+    # softphone/WAN-leg SIP range [5060, 5100): edges and interior
+    (5059, "other"),
+    (5060, "sip"),
+    (5070, "sip"),
+    (5099, "sip"),
+    (5100, "other"),
+    # fallback
+    (0, "other"),
+    (12345, "other"),
+    (65535, "other"),
+]
 
 
 class TestTrafficClasses:
-    def test_well_known_ports(self):
-        assert traffic_class_for_port(654) == "aodv"
-        assert traffic_class_for_port(698) == "olsr"
-        assert traffic_class_for_port(5060) == "sip"
-        assert traffic_class_for_port(427) == "slp"
+    @pytest.mark.parametrize("port,expected", TRAFFIC_CLASS_TABLE)
+    def test_classification(self, port, expected):
+        assert traffic_class_for_port(port) == expected
 
-    def test_rtp_range(self):
-        assert traffic_class_for_port(16384) == "rtp"
-        assert traffic_class_for_port(30000) == "rtp"
-
-    def test_siphoc_and_baseline_ports(self):
-        assert traffic_class_for_port(5062) == "siphoc"
-        assert traffic_class_for_port(5063) == "siphoc"
-        assert traffic_class_for_port(5065) == "flooding-register"
-        assert traffic_class_for_port(5066) == "proactive-hello"
-
-    def test_softphone_ports_are_sip(self):
-        assert traffic_class_for_port(5070) == "sip"
-
-    def test_unknown_port(self):
-        assert traffic_class_for_port(12345) == "other"
+    def test_labelled_ports_shadow_the_sip_range(self):
+        # 5062/5063 fall inside [5060, 5100) but the explicit labels win.
+        assert traffic_class_for_port(5062) != "sip"
+        assert traffic_class_for_port(5065) != "sip"
 
 
 class TestStats:
@@ -58,6 +78,16 @@ class TestStats:
         assert summary["counters"] == {"c": 1}
         assert summary["samples"]["s"]["count"] == 1
 
+    def test_summary_includes_percentiles(self):
+        stats = Stats()
+        for value in range(1, 101):
+            stats.sample("delay", float(value))
+        snapshot = stats.summary()["samples"]["delay"]
+        assert snapshot["p50"] == 50.0
+        assert snapshot["p95"] == 95.0
+        assert snapshot["p99"] == 99.0
+        assert abs(snapshot["stddev"] - 29.011) < 0.01
+
 
 class TestSampleSeries:
     def test_basic_stats(self):
@@ -85,3 +115,13 @@ class TestSampleSeries:
         assert series.percentile(95) == 95.0
         assert series.percentile(100) == 100.0
         assert series.percentile(0) == 1.0
+
+    def test_percentile_cache_reused_until_growth(self):
+        series = SampleSeries(values=[3.0, 1.0, 2.0])
+        assert series.percentile(50) == 2.0
+        first_sorted = series._sorted
+        assert series.percentile(95) == 3.0
+        assert series._sorted is first_sorted  # no re-sort while unchanged
+        series.add(0.0)
+        assert series.percentile(0) == 0.0  # cache invalidated by growth
+        assert series._sorted is not first_sorted

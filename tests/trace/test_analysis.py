@@ -1,0 +1,155 @@
+"""Analysis passes: summary, timeline, packet lifecycles, SIP ladders."""
+
+import pytest
+
+from repro.trace.analysis import (
+    filter_events,
+    reconstruct_packets,
+    render_packet_lifecycles,
+    render_summary,
+    render_timeline,
+    summarize,
+    timeline,
+)
+from repro.trace.events import TraceEvent
+from repro.trace.ladder import build_sip_flow, call_ids, sip_ladder
+
+from tests.trace.test_determinism import run_traced_call
+
+
+def _event(t, seq, kind, node, **detail):
+    return TraceEvent(t=t, seq=seq, kind=kind, node=node, detail=detail)
+
+
+class TestFilterAndSummary:
+    def _events(self):
+        return [
+            _event(0.0, 1, "packet.tx", "a", uid=1),
+            _event(0.5, 2, "packet.drop", "b", uid=1, cause="loss"),
+            _event(1.0, 3, "aodv.rreq", "a", dest="c"),
+            _event(2.0, 4, "sip.msg_tx", "c"),
+        ]
+
+    def test_filter_by_each_criterion(self):
+        events = self._events()
+        assert len(filter_events(events, kinds=("packet.tx",))) == 1
+        assert len(filter_events(events, categories=("packet",))) == 2
+        assert len(filter_events(events, nodes=("a",))) == 2
+        assert len(filter_events(events, t_min=0.5, t_max=1.0)) == 2
+        assert filter_events(events) == events
+
+    def test_summarize_counts_and_drop_causes(self):
+        summary = summarize(self._events())
+        assert summary["total"] == 4
+        assert summary["t_first"] == 0.0 and summary["t_last"] == 2.0
+        assert summary["by_category"] == {"aodv": 1, "packet": 2, "sip": 1}
+        assert summary["by_kind"]["packet.drop"] == 1
+        assert summary["drop_causes"] == {"loss": 1}
+
+    def test_summarize_empty(self):
+        summary = summarize([])
+        assert summary["total"] == 0 and summary["t_first"] is None
+
+    def test_render_summary_mentions_causes(self):
+        text = render_summary(summarize(self._events()))
+        assert "drop causes:" in text and "loss" in text
+
+    def test_timeline_sorts_and_renders(self):
+        events = list(reversed(self._events()))
+        ordered = timeline(events)
+        assert [event.seq for event in ordered] == [1, 2, 3, 4]
+        text = render_timeline(ordered)
+        assert "packet.drop" in text and "cause=loss" in text
+        assert render_timeline([]) == "(no events)"
+
+
+class TestPacketLifecycles:
+    def test_delivered_packet(self):
+        events = [
+            _event(1.0, 1, "packet.tx", "a", uid=7, dst="c", dport=5060),
+            _event(1.1, 2, "packet.forward", "b", uid=7, dst="c"),
+            _event(1.2, 3, "packet.rx", "c", uid=7, src="a"),
+        ]
+        (life,) = reconstruct_packets(events)
+        assert life.outcome == "rx"
+        assert life.hops == ["b"]
+        assert life.receiver == "c"
+        assert life.latency == pytest.approx(0.2)
+        assert "#7 a -> b -> c:5060" in life.describe()
+
+    def test_dropped_packet_keeps_cause(self):
+        events = [
+            _event(1.0, 1, "packet.tx", "a", uid=3, dst="z", dport=654),
+            _event(1.5, 2, "packet.drop", "a", uid=3, cause="no_route"),
+        ]
+        (life,) = reconstruct_packets(events)
+        assert life.outcome == "drop"
+        assert life.cause == "no_route"
+        assert life.latency is None
+        assert "dropped (no_route)" in life.describe()
+
+    def test_first_outcome_wins_for_broadcast(self):
+        events = [
+            _event(1.0, 1, "packet.tx", "a", uid=9, dst="255.255.255.255", dport=654),
+            _event(1.1, 2, "packet.rx", "b", uid=9),
+            _event(1.2, 3, "packet.rx", "c", uid=9),
+        ]
+        (life,) = reconstruct_packets(events)
+        assert life.receiver == "b" and life.t_end == pytest.approx(1.1)
+
+    def test_in_flight_and_ordering(self):
+        events = [
+            _event(2.0, 1, "packet.tx", "a", uid=2, dst="b", dport=5060),
+            _event(1.0, 2, "packet.tx", "c", uid=5, dst="d", dport=5060),
+        ]
+        first, second = reconstruct_packets(events)
+        assert (first.uid, second.uid) == (5, 2)  # ordered by first tx time
+        assert first.outcome == "in-flight"
+        assert "in flight" in render_packet_lifecycles([first])
+
+    def test_non_int_uid_ignored(self):
+        events = [_event(1.0, 1, "packet.tx", "a", uid="x", dst="b")]
+        assert reconstruct_packets(events) == []
+
+
+class TestSipLadder:
+    def _flow(self):
+        return [
+            _event(1.0, 1, "sip.msg_tx", "a", src="a:5070", dst="p:5060",
+                   method="INVITE", call_id="c1", cseq="INVITE"),
+            _event(1.1, 2, "sip.msg_tx", "p", src="p:5060", dst="a:5070",
+                   status=200, call_id="c1", cseq="INVITE"),
+            _event(1.2, 3, "sip.msg_tx", "a", src="a:5070", dst="p:5060",
+                   method="ACK", call_id="c2", cseq="ACK"),
+        ]
+
+    def test_participants_in_first_appearance_order(self):
+        participants, arrows = build_sip_flow(self._flow())
+        assert participants == ["a:5070", "p:5060"]
+        assert [label for (_, _, _, label) in arrows] == ["INVITE", "200 (INVITE)", "ACK"]
+
+    def test_call_id_filter(self):
+        _, arrows = build_sip_flow(self._flow(), call_id="c1")
+        assert [label for (_, _, _, label) in arrows] == ["INVITE", "200 (INVITE)"]
+        assert call_ids(self._flow()) == ["c1", "c2"]
+
+    def test_empty_trace_message(self):
+        assert "was tracing enabled?" in sip_ladder([])
+
+
+class TestEndToEndLadder:
+    def test_two_party_call_renders_invite_200_ack_bye(self):
+        scenario = run_traced_call()
+        events = scenario.trace.events
+        _, arrows = build_sip_flow(events)
+        labels = [label for (_, _, _, label) in arrows]
+        # Figure 3 ordering: the INVITE transaction completes before the BYE.
+        for expected in ("INVITE", "200 (INVITE)", "ACK", "BYE", "200 (BYE)"):
+            assert expected in labels
+        assert labels.index("INVITE") < labels.index("200 (INVITE)")
+        assert labels.index("200 (INVITE)") < labels.index("ACK")
+        assert labels.index("ACK") < labels.index("BYE")
+        assert labels.index("BYE") < labels.index("200 (BYE)")
+        text = sip_ladder(events)
+        for expected in ("INVITE", "ACK", "BYE", "REGISTER"):
+            assert expected in text

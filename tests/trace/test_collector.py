@@ -1,0 +1,136 @@
+"""Unit tests for the ring-buffer collector and the default-tracing registry."""
+
+import io
+
+import pytest
+
+from repro.netsim.simulator import Simulator
+from repro.trace import TraceCollector, read_jsonl
+from repro.trace import collector as trace_collector
+
+
+class TestRingBuffer:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TraceCollector(capacity=0)
+
+    def test_bounded_eviction_keeps_newest(self):
+        collector = TraceCollector(capacity=3)
+        for index in range(5):
+            collector.emit("packet.tx", "n", uid=index)
+        assert len(collector) == 3
+        assert collector.emitted == 5
+        assert collector.dropped == 2
+        assert [event.detail["uid"] for event in collector] == [2, 3, 4]
+        # seq keeps counting across evictions
+        assert [event.seq for event in collector] == [3, 4, 5]
+
+    def test_unregistered_kind_raises(self):
+        collector = TraceCollector()
+        with pytest.raises(KeyError, match="unregistered"):
+            collector.emit("packet.teleport", "n")
+
+    def test_disabled_collector_records_nothing(self):
+        collector = TraceCollector()
+        collector.enabled = False
+        collector.emit("packet.tx", "n")
+        assert len(collector) == 0 and collector.emitted == 0
+
+    def test_clear_resets_counters(self):
+        collector = TraceCollector(capacity=2)
+        for _ in range(4):
+            collector.emit("packet.tx", "n")
+        collector.clear()
+        assert len(collector) == 0
+        assert collector.dropped == 0
+        collector.emit("packet.tx", "n")
+        assert next(iter(collector)).seq == 1
+
+
+class TestAttachment:
+    def test_attach_stamps_simulation_time(self):
+        sim = Simulator(seed=1)
+        collector = TraceCollector().attach(sim)
+        assert sim.tracer is collector
+        sim.schedule(2.5, collector.emit, "mobility.waypoint", "n")
+        sim.run(5.0)
+        assert collector.events[0].t == pytest.approx(2.5)
+
+    def test_detach_clears_simulator_hook(self):
+        sim = Simulator(seed=1)
+        collector = TraceCollector().attach(sim)
+        collector.detach()
+        assert sim.tracer is None
+
+    def test_unattached_emission_uses_time_zero(self):
+        collector = TraceCollector()
+        collector.emit("gateway.up", "n")
+        assert collector.events[0].t == 0.0
+
+
+class TestSelect:
+    def _collector(self):
+        collector = TraceCollector()
+        collector.emit("packet.tx", "a", uid=1)
+        collector.emit("packet.rx", "b", uid=1)
+        collector.emit("sip.msg_tx", "a")
+        return collector
+
+    def test_select_by_kind_category_node(self):
+        collector = self._collector()
+        assert len(collector.select(kind="packet.tx")) == 1
+        assert len(collector.select(category="packet")) == 2
+        assert len(collector.select(node="a")) == 2
+        assert len(collector.select(category="packet", node="a")) == 1
+
+    def test_select_predicate(self):
+        collector = self._collector()
+        hits = collector.select(predicate=lambda e: e.detail.get("uid") == 1)
+        assert [event.kind for event in hits] == ["packet.tx", "packet.rx"]
+
+
+class TestJsonl:
+    def test_export_import_roundtrip(self, tmp_path):
+        collector = TraceCollector()
+        collector.emit("slp.advertise", "n", url="service:sip-proxy://x")
+        collector.emit("slp.resolved", "n", xid=3, results=1)
+        path = tmp_path / "trace.jsonl"
+        assert collector.write_jsonl(str(path)) == 2
+        loaded = read_jsonl(str(path))
+        assert loaded == collector.events
+
+    def test_write_to_file_object(self):
+        collector = TraceCollector()
+        collector.emit("gateway.up", "n")
+        buffer = io.StringIO()
+        assert collector.write_jsonl(buffer) == 1
+        assert buffer.getvalue() == collector.export_jsonl()
+
+    def test_read_from_lines_skips_blanks(self):
+        collector = TraceCollector()
+        collector.emit("gateway.up", "n")
+        lines = collector.export_jsonl().splitlines(keepends=True) + ["\n", ""]
+        assert read_jsonl(lines) == collector.events
+
+
+class TestDefaultRegistry:
+    def teardown_method(self):
+        trace_collector.disable_default()
+
+    def test_register_is_noop_when_default_off(self):
+        trace_collector.register(TraceCollector())
+        buffer = io.StringIO()
+        assert trace_collector.export_registered(buffer) == 0
+
+    def test_registered_collectors_export_in_order(self):
+        trace_collector.enable_default(capacity=8)
+        assert trace_collector.default_capacity() == 8
+        first, second = TraceCollector(), TraceCollector()
+        first.emit("gateway.up", "a")
+        second.emit("gateway.down", "b")
+        trace_collector.register(first)
+        trace_collector.register(second)
+        buffer = io.StringIO()
+        assert trace_collector.export_registered(buffer) == 2
+        kinds = [event.kind for event in read_jsonl(buffer.getvalue().splitlines())]
+        assert kinds == ["gateway.up", "gateway.down"]

@@ -1,0 +1,112 @@
+"""Unit tests for the trace event schema and JSONL codec."""
+
+import pytest
+
+from repro.trace import CATEGORIES, EVENT_KINDS, TraceError, validate_event_dict
+from repro.trace.events import TraceEvent, parse_jsonl_line
+
+
+class TestTaxonomy:
+    def test_every_kind_has_a_category(self):
+        for kind in EVENT_KINDS:
+            assert kind.split(".", 1)[0] in CATEGORIES
+
+    def test_categories_are_sorted_and_complete(self):
+        assert list(CATEGORIES) == sorted(CATEGORIES)
+        assert {"packet", "aodv", "olsr", "slp", "sip", "tunnel", "gateway", "mobility"} == set(
+            CATEGORIES
+        )
+
+
+class TestTraceEvent:
+    def test_category_property(self):
+        event = TraceEvent(t=1.0, seq=1, kind="packet.tx", node="192.168.0.1")
+        assert event.category == "packet"
+
+    def test_to_dict_omits_empty_detail(self):
+        event = TraceEvent(t=1.0, seq=1, kind="packet.tx", node="n")
+        assert "detail" not in event.to_dict()
+        rich = TraceEvent(t=1.0, seq=1, kind="packet.tx", node="n", detail={"uid": 4})
+        assert rich.to_dict()["detail"] == {"uid": 4}
+
+    def test_json_line_is_sorted_and_compact(self):
+        event = TraceEvent(t=2.5, seq=7, kind="sip.msg_tx", node="n", detail={"b": 1, "a": 2})
+        line = event.to_json_line()
+        assert line == '{"detail":{"a":2,"b":1},"kind":"sip.msg_tx","node":"n","seq":7,"t":2.5}'
+
+    def test_roundtrip(self):
+        event = TraceEvent(
+            t=3.25, seq=12, kind="aodv.rreq", node="192.168.0.1", detail={"dest": "192.168.0.5"}
+        )
+        assert parse_jsonl_line(event.to_json_line()) == event
+
+
+class TestValidation:
+    def _good(self):
+        return {"t": 1.0, "seq": 3, "kind": "packet.rx", "node": "192.168.0.2"}
+
+    def test_valid_event_passes(self):
+        validate_event_dict(self._good())
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(TraceError, match="must be an object"):
+            validate_event_dict([1, 2, 3])
+
+    @pytest.mark.parametrize("missing", ["t", "seq", "kind", "node"])
+    def test_missing_required_field(self, missing):
+        raw = self._good()
+        del raw[missing]
+        with pytest.raises(TraceError, match="missing fields"):
+            validate_event_dict(raw)
+
+    def test_negative_time_rejected(self):
+        raw = self._good()
+        raw["t"] = -0.5
+        with pytest.raises(TraceError, match="'t'"):
+            validate_event_dict(raw)
+
+    def test_bool_time_rejected(self):
+        raw = self._good()
+        raw["t"] = True
+        with pytest.raises(TraceError, match="'t'"):
+            validate_event_dict(raw)
+
+    def test_non_int_seq_rejected(self):
+        raw = self._good()
+        raw["seq"] = 1.5
+        with pytest.raises(TraceError, match="'seq'"):
+            validate_event_dict(raw)
+
+    def test_unregistered_kind_rejected(self):
+        raw = self._good()
+        raw["kind"] = "packet.teleport"
+        with pytest.raises(TraceError, match="unknown trace event kind"):
+            validate_event_dict(raw)
+
+    def test_non_string_node_rejected(self):
+        raw = self._good()
+        raw["node"] = 42
+        with pytest.raises(TraceError, match="'node'"):
+            validate_event_dict(raw)
+
+    def test_deep_detail_rejected(self):
+        raw = self._good()
+        raw["detail"] = {"a": {"b": {"c": {"d": 1}}}}
+        with pytest.raises(TraceError, match="'detail'"):
+            validate_event_dict(raw)
+
+    def test_non_json_detail_value_rejected(self):
+        raw = self._good()
+        raw["detail"] = {"when": object()}
+        with pytest.raises(TraceError, match="'detail'"):
+            validate_event_dict(raw)
+
+    def test_unknown_top_level_field_rejected(self):
+        raw = self._good()
+        raw["color"] = "red"
+        with pytest.raises(TraceError, match="unknown fields: color"):
+            validate_event_dict(raw)
+
+    def test_invalid_json_line(self):
+        with pytest.raises(TraceError, match="invalid JSON"):
+            parse_jsonl_line("{not json")

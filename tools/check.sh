@@ -13,6 +13,9 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== repro.lint (determinism & cache coherence) =="
 python -m repro.lint src/
 
+echo "== repro.trace smoke (traced scenario, JSONL schema) =="
+python -m repro.trace smoke
+
 echo "== ruff check =="
 if command -v ruff >/dev/null 2>&1; then
     ruff check src/
