@@ -23,20 +23,32 @@ class ConnectionProvider:
     """Maintains this node's tunnel to whatever gateway is reachable."""
 
     POLL_INTERVAL = 5.0
+    #: How long a gateway that failed on us is deprioritized in selection.
+    GATEWAY_COOLDOWN = 30.0
+    #: Upper bound on the consecutive-failure retry backoff.
+    MAX_BACKOFF = 60.0
 
     def __init__(
         self,
         node: Node,
         manet_slp: ManetSlp,
         poll_interval: float = POLL_INTERVAL,
+        gateway_cooldown: float = GATEWAY_COOLDOWN,
     ) -> None:
         self.node = node
         self.sim = node.sim
         self.manet_slp = manet_slp
         self.poll_interval = poll_interval
+        self.gateway_cooldown = gateway_cooldown
         self.tunnel: TunnelClient | None = None
         self._poll_task = None
         self._connecting = False
+        # Failed-gateway bookkeeping: gateway ip -> cooldown-until time, plus
+        # exponential backoff across consecutive connect failures so a node
+        # cut off from every gateway doesn't flood the MANET with lookups.
+        self._failed: dict[str, float] = {}
+        self._consecutive_failures = 0
+        self._retry_at = 0.0
         self.on_connected: ConnectivityCallback | None = None
         self.on_disconnected: Callable[[], None] | None = None
 
@@ -70,12 +82,24 @@ class ConnectionProvider:
             return
         if self.node.wired_ip is not None:
             return  # we *are* the Internet attachment; no tunnel needed
+        if self.sim.now < self._retry_at:
+            return  # backing off after consecutive connect failures
         self.manet_slp.find_services(SERVICE_GATEWAY, callback=self._on_gateways)
 
     def _on_gateways(self, entries: list[ServiceEntry]) -> None:
+        if self._poll_task is None:
+            return  # stopped (or crashed) since the lookup was launched
         if self._connecting or self.connected or not entries:
             return
-        entry = min(entries, key=self._gateway_metric)
+        now = self.sim.now
+        self._failed = {
+            ip: until for ip, until in self._failed.items() if until > now
+        }
+        # Prefer gateways that haven't recently failed on us; if every
+        # candidate is cooling down, fall back to all of them rather than
+        # staying offline (the cooldown is a preference, not a blacklist).
+        usable = [e for e in entries if e.url.host not in self._failed]
+        entry = min(usable or entries, key=self._gateway_metric)
         self._connecting = True
         tunnel = TunnelClient(self.node, entry.url.host)
         tunnel.on_disconnect = self._on_tunnel_down
@@ -93,9 +117,14 @@ class ConnectionProvider:
     def _on_connect_result(self, success: bool) -> None:
         self._connecting = False
         if not success:
+            failed_ip = self.tunnel.gateway_ip if self.tunnel is not None else None
+            self._note_gateway_failure(failed_ip)
             self._teardown()
             return
         assert self.tunnel is not None and self.tunnel.tunnel_ip is not None
+        self._failed.pop(self.tunnel.gateway_ip, None)
+        self._consecutive_failures = 0
+        self._retry_at = 0.0
         self.node.stats.increment("connection.established")
         if self.on_connected is not None:
             self.on_connected(self.tunnel.tunnel_ip)
@@ -106,11 +135,32 @@ class ConnectionProvider:
         deadline = 2 * self.tunnel.RENEW_INTERVAL + 5.0
         if last_ack is not None and self.sim.now - last_ack > deadline:
             self.node.stats.increment("connection.gateway_lost")
+            self._note_gateway_failure(self.tunnel.gateway_ip)
             self._teardown()
 
+    def _note_gateway_failure(self, gateway_ip: str | None) -> None:
+        """Cooldown the failed gateway; back off exponentially on repeats."""
+        if gateway_ip is not None:
+            self._failed[gateway_ip] = self.sim.now + self.gateway_cooldown
+            self.node.stats.increment("connection.gateway_failures")
+        self._consecutive_failures += 1
+        backoff = min(
+            self.poll_interval * (2 ** (self._consecutive_failures - 1)),
+            self.MAX_BACKOFF,
+        )
+        self._retry_at = self.sim.now + backoff
+
     def _on_tunnel_down(self) -> None:
+        # Fires both from our own _teardown (self.tunnel already None) and
+        # when the tunnel closes itself, e.g. on a gateway NACK for a lost
+        # lease. In the latter case re-poll promptly — the gateway is alive
+        # and answering, so a fresh lease is one REQUEST away.
+        unsolicited = self.tunnel is not None
+        self.tunnel = None
         if self.on_disconnected is not None:
             self.on_disconnected()
+        if unsolicited and self._poll_task is not None:
+            self.sim.schedule(0.0, self._poll)
 
     def _teardown(self) -> None:
         tunnel, self.tunnel = self.tunnel, None

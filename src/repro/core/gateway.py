@@ -75,3 +75,23 @@ class GatewayProvider:
         tracer = self.node.sim.tracer
         if tracer is not None:
             tracer.emit("gateway.down", self.node.ip)
+
+    def fail(self) -> None:
+        """Abrupt (crash-like) shutdown: the SLP advert is *not* withdrawn.
+
+        Remote caches keep the stale gateway entry until it expires, so
+        Connection Providers will still try to attach to a dead gateway —
+        the exact situation their failed-gateway cooldown handles. Used by
+        fault injection (``GatewayDown(graceful=False)``).
+        """
+        if not self.running:
+            return
+        assert self.tunnel_server is not None
+        self.manet_slp.forget_local(self._service_url)
+        self._service_url = None
+        self.tunnel_server.close()
+        self.tunnel_server = None
+        self.node.stats.increment("gateway.failed")
+        tracer = self.node.sim.tracer
+        if tracer is not None:
+            tracer.emit("gateway.down", self.node.ip)

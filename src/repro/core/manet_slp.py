@@ -84,6 +84,12 @@ class ManetSlp:
         if self._refresh_task is not None:
             self._refresh_task.stop()
             self._refresh_task = None
+        # Pending lookups die with the component: their already-scheduled
+        # timeout events must not fire callbacks into stopped (or rebuilt)
+        # components — e.g. resurrecting a tunnel on a crashed node.
+        for pending in self._pending.values():
+            pending.done = True
+        self._pending.clear()
 
     # -- SLP-facing API ----------------------------------------------------------
     def register(
@@ -120,6 +126,18 @@ class ManetSlp:
             if tracer is not None:
                 tracer.emit("slp.withdraw", self.node.ip, url=key)
             self.handler.withdraw(entry)
+
+    def forget_local(self, url: ServiceUrl | str | None) -> None:
+        """Drop a local registration *without* announcing a withdrawal.
+
+        Crash semantics: a dead service cannot say goodbye, so remote
+        caches keep the stale entry until its lifetime expires. Used by
+        fault injection (e.g. an abrupt gateway failure).
+        """
+        if url is None:
+            return
+        key = str(ServiceUrl.parse(url) if isinstance(url, str) else url)
+        self._local.pop(key, None)
 
     def find_services(
         self,

@@ -55,6 +55,7 @@ class SiphocProxy:
         self.manet_slp = manet_slp
         self.connection = connection
         self.dns_resolver = dns_resolver
+        self.closed = False
         self.core = ProxyCore(node, port=self.config.proxy_port)
         self.core.on_register = self._handle_register
         self.core.route_fn = self._route
@@ -92,6 +93,7 @@ class SiphocProxy:
         self.accounts[str(account.aor.address_of_record)] = account
 
     def close(self) -> None:
+        self.closed = True
         self.media_relay.close()
         self.core.close()
 
@@ -304,7 +306,9 @@ class SiphocProxy:
     def _on_lookup_result(
         self, ctx: RoutingContext, aor: str, entries: list[ServiceEntry]
     ) -> None:
-        if ctx.decided:
+        if self.closed or ctx.decided:
+            # A lookup can resolve after the proxy closed (node crash):
+            # forwarding would send on dead sockets.
             return
         tracer = self.sim.tracer
         remote = [entry for entry in entries if entry.url.host != self.node.ip]

@@ -100,6 +100,20 @@ class SiphocStack:
         self.proxy.close()
         self.routing.stop()
 
+    def crash(self) -> None:
+        """Abrupt failure of the whole node: no goodbye signaling escapes.
+
+        Marks the node down *first* — so the BYEs, SLP withdrawals and
+        tunnel releases the component stop() paths attempt are silently
+        swallowed by the dead interfaces — then tears the components down
+        and wipes the node's transport state (:meth:`Node.crash`). After
+        this, a fresh :class:`SiphocStack` can be built on the same node
+        once :meth:`Node.restart` brings it back up.
+        """
+        self.node.up = False
+        self.stop()
+        self.node.crash()
+
     # -- phones ---------------------------------------------------------------------
     def add_phone(
         self,

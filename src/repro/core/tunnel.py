@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.errors import CodecError, GatewayError
+from repro.errors import CodecError, GatewayError, PortInUseError
 from repro.netsim.internet import InternetCloud
 from repro.netsim.node import Node
 from repro.netsim.packet import (
@@ -74,6 +74,15 @@ class TunnelLease:
     tunnel_ip: str
     expires_at: float
 
+    def is_active(self, now: float) -> bool:
+        """A lease is dead *at* its expiry instant: active iff now < expires_at.
+
+        Every lease-validity comparison goes through here so the boundary
+        is decided once (``active_leases``, ``_expire_leases`` and the
+        upstream data path can never disagree about an expiring lease).
+        """
+        return now < self.expires_at
+
 
 class TunnelServer:
     """Gateway-side tunnel endpoint: allocates leases, relays both ways."""
@@ -106,7 +115,7 @@ class TunnelServer:
     @property
     def active_leases(self) -> list[TunnelLease]:
         now = self.sim.now
-        return [lease for lease in self._leases.values() if lease.expires_at > now]
+        return [lease for lease in self._leases.values() if lease.is_active(now)]
 
     # -- control plane ----------------------------------------------------------
     def _on_ctrl(self, data: bytes, src_ip: str, sport: int) -> None:
@@ -166,7 +175,7 @@ class TunnelServer:
     def _expire_leases(self) -> None:
         now = self.sim.now
         for lease in list(self._leases.values()):
-            if lease.expires_at <= now:
+            if not lease.is_active(now):
                 self._drop_lease(lease)
                 self.node.stats.increment("tunnel.leases_expired")
                 tracer = self.sim.tracer
@@ -187,8 +196,20 @@ class TunnelServer:
             self.node.stats.increment("tunnel.bad_frames")
             return
         lease = self._leases.get(src_ip)
+        if lease is not None and not lease.is_active(self.sim.now):
+            self._drop_lease(lease)
+            self.node.stats.increment("tunnel.leases_expired")
+            lease = None
         if lease is None or inner.src != lease.tunnel_ip:
+            # A NACK tells the client its lease is gone (e.g. this gateway
+            # restarted, or the lease expired): it can tear down and
+            # re-request immediately instead of waiting for the liveness
+            # timeout while its upstream traffic silently blackholes.
             self.node.stats.increment("tunnel.unauthorized_frames")
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.emit("tunnel.nack", self.node.ip, client=src_ip)
+            self._ctrl_socket.send(src_ip, PORT_SIPHOC_CTRL, _encode_ctrl(CTRL_NAK))
             return
         self.node.stats.increment("tunnel.upstream_packets")
         self.cloud.send(inner)
@@ -219,6 +240,13 @@ class TunnelClient:
         self.tunnel_ip: str | None = None
         self._ctrl_socket = node.bind_ephemeral(self._on_ctrl)
         self._data_socket = node.bind(PORT_SIPHOC_TUNNEL, self._on_downstream)
+        # Unsolicited gateway NACKs (lease lost server-side) arrive on the
+        # well-known control port, not our ephemeral request socket. Client
+        # nodes never run a TunnelServer, so the port is normally free.
+        try:
+            self._nack_socket = node.bind(PORT_SIPHOC_CTRL, self._on_ctrl)
+        except PortInUseError:
+            self._nack_socket = None
         self._renew_task = None
         self._connect_callback: Callable[[bool], None] | None = None
         self._connect_timer = None
@@ -247,6 +275,19 @@ class TunnelClient:
         try:
             msg_type, address, lease = _decode_ctrl(data)
         except CodecError:
+            return
+        if msg_type == CTRL_NAK:
+            self.node.stats.increment("tunnel.nacks_received")
+            if self.tunnel_ip is not None:
+                # The gateway no longer honors our lease: tear down now so
+                # the Connection Provider can re-request without waiting
+                # out the liveness deadline.
+                self.disconnect()
+            elif self._connect_callback is not None:
+                callback, self._connect_callback = self._connect_callback, None
+                if self._connect_timer is not None:
+                    self._connect_timer.cancel()
+                callback(False)
             return
         if msg_type != CTRL_ACK:
             return
@@ -292,6 +333,8 @@ class TunnelClient:
             self.tunnel_ip = None
         self._ctrl_socket.close()
         self._data_socket.close()
+        if self._nack_socket is not None:
+            self._nack_socket.close()
         if self.on_disconnect is not None:
             self.on_disconnect()
 

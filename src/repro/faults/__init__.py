@@ -1,0 +1,52 @@
+"""repro.faults: deterministic fault injection for SIPHoc scenarios.
+
+Three pieces (see DESIGN.md §5e):
+
+* :mod:`repro.faults.channel` — per-link channel fault models (Gilbert–
+  Elliott bursty loss, asymmetric loss) pluggable into the wireless medium.
+* :mod:`repro.faults.plan` — the :class:`FaultPlan` DSL of timed events
+  (node crash/restart, link partition/heal, gateway down/up), applied to
+  any scenario via ``ManetConfig(faults=plan)``.
+* :mod:`repro.faults.metrics` — recovery metrics computed from the trace
+  (re-registration latency, gateway failover time, route re-discovery,
+  calls surviving vs. dropped).
+
+``python -m repro.faults`` is the chaos harness CLI.
+"""
+
+from repro.faults.channel import (
+    AsymmetricLossChannel,
+    GilbertElliottChannel,
+    UniformLossChannel,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.metrics import RecoveryReport, analyze_recovery
+from repro.faults.plan import (
+    FaultEvent,
+    FaultPlan,
+    GatewayDown,
+    GatewayUp,
+    LinkHeal,
+    LinkPartition,
+    NodeCrash,
+    NodeRestart,
+    describe_event,
+)
+
+__all__ = [
+    "AsymmetricLossChannel",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "GatewayDown",
+    "GatewayUp",
+    "GilbertElliottChannel",
+    "LinkHeal",
+    "LinkPartition",
+    "NodeCrash",
+    "NodeRestart",
+    "RecoveryReport",
+    "UniformLossChannel",
+    "analyze_recovery",
+    "describe_event",
+]

@@ -1,0 +1,178 @@
+"""Chaos CLI: ``python -m repro.faults <subcommand>``.
+
+Subcommands:
+
+* ``plan``  — print the canonical fault plan (JSONL, one event per line)
+* ``run``   — run the chaos workload, print the recovery report
+* ``smoke`` — run it twice with one seed and assert recovery plus
+  byte-identical fault schedules and trace exports (the ``tools/check.sh``
+  gate for the fault subsystem)
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+
+from repro.faults.harness import default_chaos_plan, run_chaos
+from repro.trace.events import TraceError, parse_jsonl_line
+
+#: Rerun script for the byte-identity check. Protocol identifiers (Call-ID,
+#: Via branch, packet uid) come from process-global counters, so — like
+#: ``tests/trace/test_determinism.py`` — the byte-identity contract is
+#: between fresh interpreters, not reruns inside one process.
+_RERUN_SCRIPT = """
+from repro.faults.harness import run_chaos
+result = run_chaos(hops=4, routing="aodv", seed=7)
+import sys
+sys.stdout.write(result.plan.describe())
+sys.stdout.write("\\n=====\\n")
+sys.stdout.write(result.scenario.trace.export_jsonl())
+"""
+
+
+def _rerun_in_fresh_process() -> str:
+    result = subprocess.run(
+        [sys.executable, "-c", _RERUN_SCRIPT],
+        capture_output=True,
+        text=True,
+        check=True,
+        env=dict(os.environ),
+    )
+    return result.stdout
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    plan = default_chaos_plan(args.hops + 1, t0=12.0 if args.routing == "olsr" else 3.0)
+    print(plan.describe())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_chaos(
+        hops=args.hops, routing=args.routing, seed=args.seed, tracing=True
+    )
+    print("fault plan:")
+    for line in result.plan.describe().splitlines():
+        print(f"  {line}")
+    print()
+    print(result.report.render())
+    print()
+    print(f"post-fault call re-established: {'yes' if result.recovered else 'NO'}")
+    if args.out and result.scenario.trace is not None:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(result.scenario.trace.export_jsonl())
+    return 0 if result.recovered else 1
+
+
+def _cmd_smoke(args: argparse.Namespace) -> int:
+    """Chaos gate: recovery works and two same-seed runs match byte-for-byte."""
+    failures: list[str] = []
+
+    first = run_chaos(hops=4, routing="aodv", seed=7)
+    if not first.recovered:
+        failures.append("post-fault call did not re-establish")
+    report = first.report
+    if report.faults_injected != len(first.plan.events):
+        failures.append(
+            f"{len(first.plan.events)} fault events planned but "
+            f"{report.faults_injected} showed up in the trace"
+        )
+    if not report.gateway_failover_latency:
+        failures.append("no gateway failover observed after gateway_down")
+    if not report.reregistration_latency:
+        failures.append("no re-registration observed after node_restart")
+
+    trace_text = ""
+    if first.scenario.trace is None:
+        failures.append("chaos scenario ran without a trace collector")
+    else:
+        trace_text = first.scenario.trace.export_jsonl()
+        for number, line in enumerate(trace_text.splitlines(), start=1):
+            try:
+                parse_jsonl_line(line)
+            except TraceError as exc:
+                failures.append(f"trace line {number} failed schema validation: {exc}")
+                break
+
+    # Determinism, layer 1 (in-process): an identically-seeded rerun must
+    # produce the identical fault schedule and apply the identical events.
+    second = run_chaos(hops=4, routing="aodv", seed=7)
+    if second.plan.describe() != first.plan.describe():
+        failures.append("same-seed rerun produced a different fault schedule")
+    if second.scenario.faults is not None and first.scenario.faults is not None:
+        if second.scenario.faults.applied != first.scenario.faults.applied:
+            failures.append("same-seed rerun applied different fault events")
+
+    # Determinism, layer 2 (fresh interpreters): schedule *and* full trace
+    # export must reproduce byte for byte across program runs.
+    try:
+        rerun_a = _rerun_in_fresh_process()
+        rerun_b = _rerun_in_fresh_process()
+    except subprocess.CalledProcessError as exc:
+        failures.append(f"fresh-process chaos rerun crashed: {exc.stderr[-300:]}")
+    else:
+        if not rerun_a.strip():
+            failures.append("fresh-process chaos rerun produced no output")
+        if rerun_a != rerun_b:
+            failures.append(
+                "same-seed fresh-process reruns differ (schedule or trace)"
+            )
+        if first.plan.describe() not in rerun_a:
+            failures.append("fresh-process rerun used a different fault schedule")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"chaos smoke ok: {report.faults_injected} faults injected, call "
+        f"re-established, gateway failover in "
+        f"{min(report.gateway_failover_latency.values()):.1f}s; "
+        "same-seed reruns byte-identical"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults",
+        description="Deterministic fault injection: chaos runs and recovery metrics.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_plan = sub.add_parser("plan", help="print the canonical fault plan as JSONL")
+    p_plan.add_argument("--hops", type=int, default=4, help="chain length (default 4)")
+    p_plan.add_argument("--routing", choices=("aodv", "olsr"), default="aodv")
+    p_plan.set_defaults(fn=_cmd_plan)
+
+    p_run = sub.add_parser("run", help="run the chaos workload, print recovery report")
+    p_run.add_argument("--hops", type=int, default=4, help="chain length (default 4)")
+    p_run.add_argument("--routing", choices=("aodv", "olsr"), default="aodv")
+    p_run.add_argument("--seed", type=int, default=1)
+    p_run.add_argument("--out", help="also write the trace JSONL to this path")
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_smk = sub.add_parser(
+        "smoke", help="chaos gate: recovery + same-seed byte-identical reruns"
+    )
+    p_smk.set_defaults(fn=_cmd_smoke)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        raise SystemExit(141)

@@ -1,0 +1,123 @@
+"""Channel fault models pluggable into :class:`~repro.netsim.medium.WirelessMedium`.
+
+Each model implements the :class:`~repro.netsim.medium.ChannelModel`
+protocol: one ``should_drop(sender_ip, receiver_ip, rng)`` decision per
+transmission attempt on a directed link. All randomness must come from the
+``rng`` argument (the simulator's seeded RNG) — never from module-level
+``random`` or a privately seeded generator — so a same-seed rerun replays
+the exact loss sequence. ``repro.lint`` rule FAULT001 enforces this.
+
+The MANET simulation literature is unanimous that uniform i.i.d. loss
+understates what ad hoc VoIP must survive: real 802.11 channels lose
+packets in *bursts* (fading, interference). :class:`GilbertElliottChannel`
+is the standard two-state Markov burst model; :class:`AsymmetricLossChannel`
+captures per-direction link quality differences (different antennas, power,
+noise floors at each end).
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class UniformLossChannel:
+    """Baseline i.i.d. loss, equivalent to the medium's ``loss_rate`` knob."""
+
+    def __init__(self, loss_rate: float) -> None:
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1], got {loss_rate}")
+        self.loss_rate = loss_rate
+
+    def should_drop(self, sender_ip: str, receiver_ip: str, rng: random.Random) -> bool:
+        return self.loss_rate > 0 and rng.random() < self.loss_rate
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"UniformLossChannel(loss_rate={self.loss_rate})"
+
+
+class GilbertElliottChannel:
+    """Two-state Markov (Gilbert–Elliott) bursty-loss channel, per directed link.
+
+    Each (sender, receiver) pair carries its own good/bad state. Before
+    every transmission attempt the state transitions (good→bad with
+    probability ``p_gb``, bad→good with ``p_bg``), then the attempt is lost
+    with the state's loss probability (``loss_good`` / ``loss_bad``).
+
+    Expected burst (bad-state sojourn) length is ``1 / p_bg`` attempts;
+    stationary bad-state probability is ``p_gb / (p_gb + p_bg)``.
+    """
+
+    def __init__(
+        self,
+        p_gb: float = 0.05,
+        p_bg: float = 0.25,
+        loss_good: float = 0.0,
+        loss_bad: float = 1.0,
+    ) -> None:
+        for name, value in (
+            ("p_gb", p_gb), ("p_bg", p_bg),
+            ("loss_good", loss_good), ("loss_bad", loss_bad),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        self.p_gb = p_gb
+        self.p_bg = p_bg
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self._bad: dict[tuple[str, str], bool] = {}
+
+    def link_state(self, sender_ip: str, receiver_ip: str) -> str:
+        """Current state of a directed link: ``"good"`` or ``"bad"``."""
+        return "bad" if self._bad.get((sender_ip, receiver_ip), False) else "good"
+
+    def should_drop(self, sender_ip: str, receiver_ip: str, rng: random.Random) -> bool:
+        link = (sender_ip, receiver_ip)
+        bad = self._bad.get(link, False)
+        if bad:
+            if rng.random() < self.p_bg:
+                bad = False
+        elif rng.random() < self.p_gb:
+            bad = True
+        self._bad[link] = bad
+        loss = self.loss_bad if bad else self.loss_good
+        return loss > 0 and rng.random() < loss
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GilbertElliottChannel(p_gb={self.p_gb}, p_bg={self.p_bg}, "
+            f"loss_good={self.loss_good}, loss_bad={self.loss_bad})"
+        )
+
+
+class AsymmetricLossChannel:
+    """Per-directed-link loss rates; directions of one link may differ.
+
+    ``set_link("10.0.0.1", "10.0.0.2", 0.4)`` makes the 1→2 direction lose
+    40% of attempts while 2→1 keeps the ``default`` rate — the classic
+    asymmetric-link pathology that breaks naive bidirectional-link
+    assumptions in routing protocols.
+    """
+
+    def __init__(
+        self,
+        rates: dict[tuple[str, str], float] | None = None,
+        default: float = 0.0,
+    ) -> None:
+        if not 0.0 <= default <= 1.0:
+            raise ValueError(f"default must be in [0, 1], got {default}")
+        self.default = default
+        self._rates: dict[tuple[str, str], float] = {}
+        for (src, dst), rate in (rates or {}).items():
+            self.set_link(src, dst, rate)
+
+    def set_link(self, sender_ip: str, receiver_ip: str, loss_rate: float) -> None:
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1], got {loss_rate}")
+        self._rates[(sender_ip, receiver_ip)] = loss_rate
+
+    def should_drop(self, sender_ip: str, receiver_ip: str, rng: random.Random) -> bool:
+        rate = self._rates.get((sender_ip, receiver_ip), self.default)
+        return rate > 0 and rng.random() < rate
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AsymmetricLossChannel({len(self._rates)} links, default={self.default})"

@@ -1,0 +1,110 @@
+"""FaultInjector: arms a :class:`FaultPlan` on a scenario's simulator clock.
+
+The injector is pure plumbing: every event in the plan is scheduled with
+``sim.schedule_at`` when the scenario starts, and firing an event delegates
+to the scenario (crash/restart), the medium (partition/heal) or the node's
+Gateway Provider (gateway down/up). It draws no randomness and reads no
+clock other than ``sim.now`` — the fault *schedule* is the plan itself,
+already fixed before the run begins.
+
+Every fired event emits a ``fault.*`` trace event (when tracing is on), so
+recovery metrics can be computed from the trace alone.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigError
+from repro.faults.plan import (
+    FaultEvent,
+    FaultPlan,
+    GatewayDown,
+    GatewayUp,
+    LinkHeal,
+    LinkPartition,
+    NodeCrash,
+    NodeRestart,
+    describe_event,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scenarios import ManetScenario
+
+
+class FaultInjector:
+    """Applies a fault plan to a running :class:`ManetScenario`."""
+
+    def __init__(self, scenario: "ManetScenario", plan: FaultPlan) -> None:
+        self.scenario = scenario
+        self.sim = scenario.sim
+        self.plan = plan
+        self.armed = False
+        #: (time, canonical event dict) for every event that has fired.
+        self.applied: list[tuple[float, dict[str, object]]] = []
+
+    def arm(self) -> "FaultInjector":
+        """Validate the plan and schedule every event. Idempotent."""
+        if self.armed:
+            return self
+        self.armed = True
+        self.plan.validate(len(self.scenario.nodes))
+        for event in self.plan.events:
+            if event.at < self.sim.now:
+                raise ConfigError(
+                    f"fault event at t={event.at} is in the past "
+                    f"(scenario started at t={self.sim.now})"
+                )
+            if isinstance(event, (GatewayDown, GatewayUp)):
+                if self.scenario.nodes[event.node].wired_ip is None:
+                    raise ConfigError(
+                        f"fault event {event.kind} targets node {event.node}, "
+                        "which has no Internet attachment"
+                    )
+            self.sim.schedule_at(event.at, self._fire, event)
+        return self
+
+    # -- event dispatch -------------------------------------------------------
+    def _fire(self, event: FaultEvent) -> None:
+        scenario = self.scenario
+        if isinstance(event, NodeCrash):
+            self._emit(event, scenario.nodes[event.node].ip)
+            scenario.crash_node(event.node)
+        elif isinstance(event, NodeRestart):
+            self._emit(event, scenario.nodes[event.node].ip)
+            scenario.restart_node(event.node)
+        elif isinstance(event, LinkPartition):
+            self._emit(event, "")
+            scenario.medium.partition(
+                event.name,
+                frozenset(scenario.nodes[i].ip for i in event.group_a),
+                frozenset(scenario.nodes[i].ip for i in event.group_b),
+            )
+        elif isinstance(event, LinkHeal):
+            self._emit(event, "")
+            scenario.medium.heal(event.name)
+        elif isinstance(event, GatewayDown):
+            self._emit(event, scenario.nodes[event.node].ip)
+            gateway = scenario.stacks[event.node].gateway
+            if gateway is not None and gateway.running:
+                if event.graceful:
+                    gateway.stop()
+                else:
+                    gateway.fail()
+        elif isinstance(event, GatewayUp):
+            self._emit(event, scenario.nodes[event.node].ip)
+            gateway = scenario.stacks[event.node].gateway
+            if gateway is not None and not gateway.running:
+                gateway.start()
+        self.applied.append((self.sim.now, describe_event(event)))
+
+    def _emit(self, event: FaultEvent, node_ip: str) -> None:
+        tracer = self.sim.tracer
+        if tracer is None:
+            return
+        detail = describe_event(event)
+        kind = detail.pop("kind")
+        detail.pop("at", None)  # the trace record already carries t
+        if "node" in detail:  # the index; the record's node field has the IP
+            detail["node_index"] = detail.pop("node")
+        tracer.emit(f"fault.{kind}", node_ip, **detail)

@@ -1,0 +1,111 @@
+"""Recovery metrics: how fast the stack heals after injected faults.
+
+All metrics are computed from the trace event stream (``fault.*`` markers
+correlated with the recovery signals that follow them) plus the call
+records of the scenario's phones:
+
+* **re-registration latency** — ``fault.node_restart`` on a node to the
+  next ``sip.register`` accepted on that node.
+* **gateway failover time** — ``fault.gateway_down`` to the next
+  ``tunnel.connected`` on each client node that loses its tunnel after
+  the fault (the full detect → re-discover → re-attach cycle).
+* **route re-discovery time** — ``aodv.discovery_complete`` latencies
+  observed at or after the first fault (discoveries forced by the churn).
+* **call outcomes** — placed / established / completed / failed, from
+  :class:`~repro.core.softphone.CallRecord`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.trace.events import TraceEvent
+
+
+@dataclass
+class RecoveryReport:
+    """Aggregated recovery metrics for one chaos run."""
+
+    faults_injected: int = 0
+    reregistration_latency: dict[str, float] = field(default_factory=dict)
+    gateway_failover_latency: dict[str, float] = field(default_factory=dict)
+    route_rediscovery_latency: list[float] = field(default_factory=list)
+    calls_placed: int = 0
+    calls_established: int = 0
+    calls_completed: int = 0
+    calls_failed: int = 0
+
+    @property
+    def calls_survived(self) -> int:
+        return self.calls_completed
+
+    def render(self) -> str:
+        lines = [f"faults injected: {self.faults_injected}"]
+        lines.append(
+            f"calls: {self.calls_placed} placed, {self.calls_established} "
+            f"established, {self.calls_completed} completed, "
+            f"{self.calls_failed} failed"
+        )
+        if self.reregistration_latency:
+            lines.append("re-registration latency after restart:")
+            for node, latency in sorted(self.reregistration_latency.items()):
+                lines.append(f"  {node}: {latency:.2f}s")
+        if self.gateway_failover_latency:
+            lines.append("gateway failover latency (per client):")
+            for node, latency in sorted(self.gateway_failover_latency.items()):
+                lines.append(f"  {node}: {latency:.2f}s")
+        if self.route_rediscovery_latency:
+            latencies = self.route_rediscovery_latency
+            lines.append(
+                f"route re-discoveries under faults: {len(latencies)} "
+                f"(mean {sum(latencies) / len(latencies):.3f}s, "
+                f"max {max(latencies):.3f}s)"
+            )
+        return "\n".join(lines)
+
+
+def analyze_recovery(events: list[TraceEvent], call_records=()) -> RecoveryReport:
+    """Compute a :class:`RecoveryReport` from a trace and call records."""
+    report = RecoveryReport()
+    fault_times = [event.t for event in events if event.category == "fault"]
+    report.faults_injected = len(fault_times)
+    first_fault = min(fault_times) if fault_times else None
+
+    # Re-registration latency: restart marker -> next accepted REGISTER there.
+    for index, event in enumerate(events):
+        if event.kind != "fault.node_restart":
+            continue
+        for later in events[index + 1 :]:
+            if later.kind == "sip.register" and later.node == event.node:
+                report.reregistration_latency.setdefault(
+                    event.node, later.t - event.t
+                )
+                break
+
+    # Gateway failover: gateway_down -> next tunnel.connected per client.
+    for index, event in enumerate(events):
+        if event.kind != "fault.gateway_down":
+            continue
+        for later in events[index + 1 :]:
+            if later.kind == "tunnel.connected":
+                report.gateway_failover_latency.setdefault(
+                    later.node, later.t - event.t
+                )
+
+    # Route re-discoveries forced by the churn.
+    if first_fault is not None:
+        for event in events:
+            if event.kind == "aodv.discovery_complete" and event.t >= first_fault:
+                latency = event.detail.get("latency")
+                if isinstance(latency, (int, float)):
+                    report.route_rediscovery_latency.append(float(latency))
+
+    for record in call_records:
+        report.calls_placed += 1
+        if record.established:
+            report.calls_established += 1
+        if record.established and record.final_state == "terminated":
+            report.calls_completed += 1
+        else:
+            report.calls_failed += 1
+    return report

@@ -1,0 +1,204 @@
+"""FaultPlan: a declarative schedule of timed failures for a scenario.
+
+A plan is a list of events pinned to absolute simulation times, referring
+to nodes by their scenario index. Because the schedule is explicit data —
+never sampled at run time — it is trivially deterministic: the canonical
+:meth:`FaultPlan.describe` rendering of two same-seed runs is byte-identical
+whether or not tracing is attached. Channel models (which *do* draw
+randomness, from the simulator RNG) ride along on :attr:`FaultPlan.channel`.
+
+Event kinds mirror the ``fault.*`` trace taxonomy:
+
+* :class:`NodeCrash` / :class:`NodeRestart` — power-cycle a node; the
+  scenario tears down and rebuilds its entire :class:`SiphocStack`.
+* :class:`LinkPartition` / :class:`LinkHeal` — block/unblock all links
+  between two node groups at the medium.
+* :class:`GatewayDown` / :class:`GatewayUp` — stop/restart a node's
+  Gateway Provider (``graceful=False`` models a crash: the SLP advert is
+  *not* withdrawn, so remote caches hold a stale gateway entry — the
+  failover drill the Connection Provider's cooldown logic exists for).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from typing import ClassVar, Iterable, Union
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    at: float
+    node: int
+    kind: ClassVar[str] = "node_crash"
+
+
+@dataclass(frozen=True)
+class NodeRestart:
+    at: float
+    node: int
+    kind: ClassVar[str] = "node_restart"
+
+
+@dataclass(frozen=True)
+class LinkPartition:
+    at: float
+    group_a: tuple[int, ...]
+    group_b: tuple[int, ...]
+    name: str
+    kind: ClassVar[str] = "partition"
+
+
+@dataclass(frozen=True)
+class LinkHeal:
+    at: float
+    name: str
+    kind: ClassVar[str] = "heal"
+
+
+@dataclass(frozen=True)
+class GatewayDown:
+    at: float
+    node: int
+    graceful: bool = False
+    kind: ClassVar[str] = "gateway_down"
+
+
+@dataclass(frozen=True)
+class GatewayUp:
+    at: float
+    node: int
+    kind: ClassVar[str] = "gateway_up"
+
+
+FaultEvent = Union[NodeCrash, NodeRestart, LinkPartition, LinkHeal, GatewayDown, GatewayUp]
+
+
+def describe_event(event: FaultEvent) -> dict[str, object]:
+    """Canonical dict form of one event (stable field order via sorting)."""
+    out: dict[str, object] = {"kind": event.kind}
+    for spec in fields(event):
+        value = getattr(event, spec.name)
+        if isinstance(value, tuple):
+            value = list(value)
+        out[spec.name] = value
+    return out
+
+
+class FaultPlan:
+    """Builder + container for a timed fault schedule.
+
+    Builder methods return ``self`` so plans chain::
+
+        plan = (
+            FaultPlan()
+            .crash(at=20.0, node=2)
+            .restart(at=35.0, node=2)
+            .gateway_down(at=50.0, node=4)
+        )
+    """
+
+    def __init__(self, events: Iterable[FaultEvent] = (), channel=None) -> None:
+        self._events: list[FaultEvent] = list(events)
+        #: Optional ChannelModel installed on the scenario's medium.
+        self.channel = channel
+
+    # -- builder API ----------------------------------------------------------
+    def crash(self, at: float, node: int) -> "FaultPlan":
+        self._events.append(NodeCrash(at=at, node=node))
+        return self
+
+    def restart(self, at: float, node: int) -> "FaultPlan":
+        self._events.append(NodeRestart(at=at, node=node))
+        return self
+
+    def partition(
+        self,
+        at: float,
+        group_a: Iterable[int],
+        group_b: Iterable[int],
+        name: str | None = None,
+    ) -> "FaultPlan":
+        label = name if name is not None else f"partition-{len(self._events)}"
+        self._events.append(
+            LinkPartition(
+                at=at,
+                group_a=tuple(sorted(group_a)),
+                group_b=tuple(sorted(group_b)),
+                name=label,
+            )
+        )
+        return self
+
+    def heal(self, at: float, name: str) -> "FaultPlan":
+        self._events.append(LinkHeal(at=at, name=name))
+        return self
+
+    def gateway_down(self, at: float, node: int, graceful: bool = False) -> "FaultPlan":
+        self._events.append(GatewayDown(at=at, node=node, graceful=graceful))
+        return self
+
+    def gateway_up(self, at: float, node: int) -> "FaultPlan":
+        self._events.append(GatewayUp(at=at, node=node))
+        return self
+
+    def with_channel(self, channel) -> "FaultPlan":
+        self.channel = channel
+        return self
+
+    # -- schedule -------------------------------------------------------------
+    @property
+    def events(self) -> tuple[FaultEvent, ...]:
+        """Events in firing order: by time, insertion order breaking ties."""
+        indexed = list(enumerate(self._events))
+        indexed.sort(key=lambda pair: (pair[1].at, pair[0]))
+        return tuple(event for _, event in indexed)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def validate(self, n_nodes: int) -> None:
+        """Raise :class:`ConfigError` on out-of-range indexes or bad refs."""
+        known_partitions: set[str] = set()
+        for event in self.events:
+            if event.at < 0:
+                raise ConfigError(f"fault event before t=0: {describe_event(event)}")
+            for spec in fields(event):
+                value = getattr(event, spec.name)
+                indexes = (
+                    value
+                    if isinstance(value, tuple)
+                    else (value,) if spec.name == "node" else ()
+                )
+                for index in indexes:
+                    if not 0 <= index < n_nodes:
+                        raise ConfigError(
+                            f"fault event references node {index}, but the "
+                            f"scenario has nodes 0..{n_nodes - 1}"
+                        )
+            if isinstance(event, LinkPartition):
+                if set(event.group_a) & set(event.group_b):
+                    raise ConfigError(
+                        f"partition {event.name!r} groups overlap: "
+                        f"{sorted(set(event.group_a) & set(event.group_b))}"
+                    )
+                known_partitions.add(event.name)
+            elif isinstance(event, LinkHeal) and event.name not in known_partitions:
+                raise ConfigError(
+                    f"heal of unknown partition {event.name!r} "
+                    f"(known: {sorted(known_partitions) or 'none'})"
+                )
+
+    def describe(self) -> str:
+        """Canonical JSONL rendering of the schedule.
+
+        One sorted-key JSON object per event, in firing order — the
+        byte-identical artifact the determinism contract is checked
+        against (see DESIGN.md §5e).
+        """
+        return "\n".join(
+            json.dumps(describe_event(event), sort_keys=True, separators=(",", ":"))
+            for event in self.events
+        )

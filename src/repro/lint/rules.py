@@ -479,6 +479,50 @@ class TimeEqualityRule(Rule):
 
 
 # ---------------------------------------------------------------------------
+# FAULT001 — fault-schedule code must not own any randomness or clock
+# ---------------------------------------------------------------------------
+
+
+class _FaultScheduleVisitor(RuleVisitor):
+    def visit_Call(self, node: ast.Call) -> None:
+        name = self.ctx.resolve_dotted(node.func)
+        if name in _WALL_CLOCK_CALLS:
+            self.report(
+                node,
+                f"wall-clock call {name}() in fault-schedule code: fault "
+                "timing must come from the plan and Simulator.now only",
+            )
+        elif name is not None and name.startswith("random."):
+            # Stricter than DET002: even a *seeded* random.Random is banned
+            # here. Fault code owning its own RNG forks the random stream,
+            # so the injected schedule stops being pinned by the scenario
+            # seed alone.
+            self.report(
+                node,
+                f"{name}() in fault-schedule code: channel models and fault "
+                "plans must draw exclusively from the Simulator.rng handed "
+                "to them, never construct or call their own RNG",
+            )
+        self.generic_visit(node)
+
+
+class FaultScheduleRule(Rule):
+    id = "FAULT001"
+    title = "no wall-clock or random.* calls (even seeded) under faults/"
+    rationale = (
+        "The fault subsystem's contract is byte-identical schedules for a "
+        "given seed, tracing on or off. That only holds if fault code is a "
+        "pure function of the plan, Simulator.now and the Simulator.rng it "
+        "is passed — any private clock or RNG (seeded or not) breaks the "
+        "reproduction of a failure run."
+    )
+    visitor_class = _FaultScheduleVisitor
+
+    def applies_to(self, path: Path) -> bool:
+        return "faults" in path.parts
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -489,6 +533,7 @@ ALL_RULES: tuple[Rule, ...] = (
     CacheStateRule(),
     PositionWriteRule(),
     TimeEqualityRule(),
+    FaultScheduleRule(),
 )
 
 _RULES_BY_ID = {rule.id: rule for rule in ALL_RULES}

@@ -20,7 +20,8 @@ predicate, so a seeded simulation produces bit-identical results either way.
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Callable
+import random
+from typing import TYPE_CHECKING, Callable, Protocol
 
 from repro.netsim.capture import CapturedFrame
 from repro.netsim.energy import EnergyModel
@@ -35,6 +36,18 @@ SnifferFn = Callable[[CapturedFrame], None]
 LinkFailureFn = Callable[[str, Packet], None]
 
 _Cell = tuple[int, int]
+
+
+class ChannelModel(Protocol):
+    """Per-link loss decision, replacing the uniform ``loss_rate`` knob.
+
+    Implementations (see :mod:`repro.faults.channel`) must draw randomness
+    exclusively from the ``rng`` argument — the simulator's seeded RNG — so
+    loss sequences are reproduced exactly by a same-seed rerun. One call is
+    made per transmission attempt on the directed link (sender, receiver).
+    """
+
+    def should_drop(self, sender_ip: str, receiver_ip: str, rng: random.Random) -> bool: ...
 
 
 class WirelessMedium:
@@ -52,6 +65,7 @@ class WirelessMedium:
         mac_retries: int = 3,
         energy: EnergyModel | None = None,
         use_spatial_index: bool = True,
+        channel: ChannelModel | None = None,
     ) -> None:
         self.sim = sim
         self.stats = stats or Stats()
@@ -61,6 +75,7 @@ class WirelessMedium:
         self.base_delay = base_delay
         self.jitter = jitter
         self.loss_rate = loss_rate
+        self.channel = channel
         self.mac_retries = mac_retries
         self.use_spatial_index = use_spatial_index
         self._nodes: list["Node"] = []
@@ -75,6 +90,9 @@ class WirelessMedium:
         self._order_seq = 0
         self._position_epoch = 0
         self._neighbor_cache: dict[int, tuple[int, list["Node"]]] = {}
+        # Named partitions (fault injection): each blocks every link that
+        # crosses between its two groups, in both directions.
+        self._partitions: dict[str, tuple[frozenset[str], frozenset[str]]] = {}
 
     # -- membership ---------------------------------------------------------
     def add_node(self, node: "Node") -> None:
@@ -206,6 +224,33 @@ class WirelessMedium:
         result.sort(key=lambda n: order[id(n)])
         return result
 
+    # -- partitions (fault injection) ----------------------------------------
+    def partition(self, name: str, group_a: frozenset[str], group_b: frozenset[str]) -> None:
+        """Block every link crossing between ``group_a`` and ``group_b``.
+
+        Partitioned links behave exactly like out-of-range ones: unicasts
+        fail after the full MAC retry sequence (triggering link-failure
+        feedback), broadcasts simply do not arrive.
+        """
+        self._partitions[name] = (frozenset(group_a), frozenset(group_b))
+
+    def heal(self, name: str) -> None:
+        """Remove a named partition. Unknown names are a no-op."""
+        self._partitions.pop(name, None)
+
+    @property
+    def partition_names(self) -> list[str]:
+        return sorted(self._partitions)
+
+    def link_blocked(self, a_ip: str, b_ip: str) -> bool:
+        """True if any active partition separates the two endpoints."""
+        for group_a, group_b in self._partitions.values():
+            if (a_ip in group_a and b_ip in group_b) or (
+                a_ip in group_b and b_ip in group_a
+            ):
+                return True
+        return False
+
     # -- capture ------------------------------------------------------------
     def add_sniffer(self, sniffer: SnifferFn) -> None:
         self._sniffers.append(sniffer)
@@ -221,7 +266,10 @@ class WirelessMedium:
     def _tx_time(self, packet: Packet) -> float:
         return packet.size * 8.0 / self.bitrate + self.base_delay
 
-    def _lost(self) -> bool:
+    def _lost(self, sender_ip: str, receiver_ip: str) -> bool:
+        """One loss draw for one transmission attempt on a directed link."""
+        if self.channel is not None:
+            return self.channel.should_drop(sender_ip, receiver_ip, self.sim.rng)
         return self.loss_rate > 0 and self.sim.rng.random() < self.loss_rate
 
     def broadcast(self, sender: "Node", packet: Packet) -> None:
@@ -246,7 +294,17 @@ class WirelessMedium:
         tx_time = self._tx_time(packet)
         delivered_any = False
         for neighbor in self.neighbors(sender):
-            if self._lost():
+            if self._partitions and self.link_blocked(sender.ip, neighbor.ip):
+                if tracer is not None:
+                    tracer.emit(
+                        "packet.drop",
+                        sender.ip,
+                        uid=packet.uid,
+                        cause="partition",
+                        peer=neighbor.ip,
+                    )
+                continue
+            if self._lost(sender.ip, neighbor.ip):
                 if tracer is not None:
                     tracer.emit(
                         "packet.drop",
@@ -299,13 +357,21 @@ class WirelessMedium:
                 next_hop=next_hop_ip,
             )
         receiver = self._by_ip.get(next_hop_ip)
-        reachable = receiver is not None and self.in_range(sender, receiver)
+        blocked = self._partitions and self.link_blocked(sender.ip, next_hop_ip)
+        # A crashed node has no radio: it sends no MAC ACK, so the sender's
+        # retries exhaust exactly as for an out-of-range neighbor.
+        reachable = (
+            receiver is not None
+            and receiver.up
+            and not blocked
+            and self.in_range(sender, receiver)
+        )
         delivered = False
         attempts = 1
         if reachable:
             for attempt in range(self.mac_retries + 1):
                 attempts = attempt + 1
-                if not self._lost():
+                if not self._lost(sender.ip, next_hop_ip):
                     delivered = True
                     break
         if self.energy is not None:
@@ -331,11 +397,17 @@ class WirelessMedium:
         if not delivered:
             self.stats.increment("medium.unicast_failures")
             if tracer is not None:
+                if blocked:
+                    cause = "partition"
+                elif not reachable:
+                    cause = "unreachable"
+                else:
+                    cause = "retries_exhausted"
                 tracer.emit(
                     "packet.drop",
                     sender.ip,
                     uid=packet.uid,
-                    cause="unreachable" if not reachable else "retries_exhausted",
+                    cause=cause,
                     peer=next_hop_ip,
                     attempts=attempts,
                 )

@@ -129,6 +129,29 @@ class Node:
     def set_router(self, router: Router) -> None:
         self.router = router
 
+    # -- failure injection ----------------------------------------------------
+    def crash(self) -> None:
+        """Abrupt host failure: interfaces stay placed, transport state is lost.
+
+        Marks the node down and forgets every socket, default route, extra
+        address, hook chain and routing attachment — exactly what a power
+        loss does. Component objects still holding a socket see it as closed.
+        A subsequently rebuilt stack can re-bind all well-known ports.
+        """
+        self.up = False
+        for socket in list(self._sockets.values()):
+            socket.closed = True
+        self._sockets.clear()
+        self._default_routes.clear()
+        self._extra_addresses.clear()
+        self._next_ephemeral = EPHEMERAL_PORT_BASE
+        self.router = None
+        self.hooks = NetfilterHooks()
+
+    def restart(self) -> None:
+        """Power the node back on (empty-state boot; see :meth:`crash`)."""
+        self.up = True
+
     # -- addressing ----------------------------------------------------------
     @property
     def local_addresses(self) -> set[str]:

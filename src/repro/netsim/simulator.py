@@ -43,6 +43,11 @@ class EventHandle:
     def cancelled(self) -> bool:
         return self._event.cancelled
 
+    @property
+    def done(self) -> bool:
+        """True once the event can never fire again (fired or cancelled)."""
+        return self._event.cancelled or self._event.popped
+
     def cancel(self) -> None:
         """Prevent the event from firing. Safe to call more than once."""
         event = self._event

@@ -81,9 +81,18 @@ class Aodv(RoutingProtocol):
         if self._hello_task is not None:
             self._hello_task.stop()
             self._hello_task = None
+        # A stopped daemon must not keep re-flooding RREQs: cancel every
+        # pending discovery's retry timer and drop its buffered packets
+        # (a restarted node gets a brand-new daemon on the same port).
+        for pending in self._pending.values():
+            if pending.timer is not None:
+                pending.timer.cancel()
+        self._pending.clear()
 
     # -- IP-layer interface -------------------------------------------------------
     def dispatch(self, packet: Packet) -> None:
+        if not self.started:
+            return
         route = self.table.lookup(packet.dst, self.sim.now)
         if route is not None:
             self._refresh(route)
@@ -146,6 +155,8 @@ class Aodv(RoutingProtocol):
             pending.timer = self.sim.schedule(timeout, self._discovery_timeout, dest, retry)
 
     def _discovery_timeout(self, dest: str, retry: int) -> None:
+        if not self.started:
+            return
         pending = self._pending.get(dest)
         if pending is None or pending.retries != retry:
             return
@@ -334,6 +345,8 @@ class Aodv(RoutingProtocol):
 
     # -- link failure ---------------------------------------------------------------
     def _on_link_failure(self, next_hop: str, packet: Packet) -> None:
+        if not self.started:
+            return  # TX-failure feedback arriving after the daemon stopped
         now = self.sim.now
         broken = self.table.routes_via(next_hop, now)
         unreachable = []

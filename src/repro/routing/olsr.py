@@ -103,6 +103,8 @@ class Olsr(RoutingProtocol):
 
     # -- IP-layer interface ------------------------------------------------------
     def dispatch(self, packet: Packet) -> None:
+        if not self.started:
+            return
         self._recompute_if_dirty()
         route = self.table.lookup(packet.dst, self.sim.now)
         if route is None:
@@ -115,6 +117,8 @@ class Olsr(RoutingProtocol):
         return super().route_to(destination)
 
     def _on_link_failure(self, next_hop: str, packet: Packet) -> None:
+        if not self.started:
+            return  # TX-failure feedback arriving after the daemon stopped
         link = self._links.get(next_hop)
         if link is not None:
             link.sym_until = 0.0

@@ -15,6 +15,8 @@ from repro.core.provider import SipProvider
 from repro.core.softphone import SoftPhone
 from repro.core.stack import SiphocStack
 from repro.errors import ConfigError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.netsim.internet import InternetCloud
 from repro.netsim.medium import WirelessMedium
 from repro.netsim.mobility import (
@@ -55,6 +57,7 @@ class ManetConfig:
     strict_providers: tuple[str, ...] = ()  # providers mandating an SBC
     tracing: bool = False  # attach a repro.trace collector to the simulator
     trace_capacity: int = 65536  # trace ring-buffer size (events)
+    faults: FaultPlan | None = None  # timed fault events + optional channel model
 
 
 class ManetScenario:
@@ -88,6 +91,8 @@ class ManetScenario:
             mac_retries=base.mac_retries,
             use_spatial_index=base.spatial_index,
         )
+        if base.faults is not None and base.faults.channel is not None:
+            self.medium.channel = base.faults.channel
         self.cloud: InternetCloud | None = None
         self.providers: dict[str, SipProvider] = {}
         needs_cloud = base.internet_gateways > 0 or base.providers or base.strict_providers
@@ -125,6 +130,11 @@ class ManetScenario:
                 pause_time=base.mobility_pause,
             )
         self.phones: dict[str, SoftPhone] = {}
+        self._phone_specs: list[dict] = []
+        self._retired_phones: list[SoftPhone] = []
+        self.faults: FaultInjector | None = None
+        if base.faults is not None:
+            self.faults = FaultInjector(self, base.faults)
         self._started = False
 
     def _place_nodes(self) -> None:
@@ -147,6 +157,8 @@ class ManetScenario:
             stack.start()
         if self.mobility is not None:
             self.mobility.start()
+        if self.faults is not None and not self.faults.armed:
+            self.faults.arm()
         return self
 
     def stop(self) -> None:
@@ -157,6 +169,63 @@ class ManetScenario:
             self.mobility.stop()
         for stack in self.stacks:
             stack.stop()
+
+    # -- fault hooks ------------------------------------------------------------------
+    def crash_node(self, index: int) -> None:
+        """Abruptly kill node ``index``: no goodbye signaling escapes.
+
+        The node's phones are retired (their call history stays reachable
+        through :meth:`call_records`) and the stack is torn down with the
+        interfaces already dead, so peers only learn of the failure through
+        timeouts and routing-layer link breaks.
+        """
+        stack = self.stacks[index]
+        for phone in stack.phones:
+            self._retired_phones.append(phone)
+        stack.crash()
+
+    def restart_node(self, index: int) -> SiphocStack:
+        """Power-cycle node ``index``: rebuild its stack from scratch.
+
+        All prior state (routes, SLP caches, registrations, tunnel leases)
+        is gone — exactly what a rebooted device looks like to the rest of
+        the MANET. Phones previously added to the node are re-created from
+        their recorded specs.
+        """
+        old = self.stacks[index]
+        if old._started:
+            self.crash_node(index)
+        node = self.nodes[index]
+        node.restart()
+        if node.wired_ip is not None and self.cloud is not None:
+            # Node.crash() wiped the default routes; the wired uplink the
+            # cloud attached at build time has to be reinstalled.
+            node.set_default_route("wired", self.cloud.send, priority=0)
+        stack = SiphocStack(node, routing=self.config.routing, cloud=self.cloud)
+        self.stacks[index] = stack
+        if self._started:
+            stack.start()
+        for spec in self._phone_specs:
+            if spec["node_index"] != index:
+                continue
+            account = spec["account"]
+            phone = stack.add_phone(
+                account=account,
+                username=None if account else spec["username"],
+                domain=spec["domain"],
+                **spec["kwargs"],
+            )
+            self.phones[spec["username"]] = phone
+        return stack
+
+    def call_records(self) -> list:
+        """Call history across all phones, including those lost to crashes."""
+        records = []
+        for phone in self._retired_phones:
+            records.extend(phone.history)
+        for phone in self.phones.values():
+            records.extend(phone.history)
+        return records
 
     # -- convenience ------------------------------------------------------------------
     def add_phone(
@@ -171,6 +240,15 @@ class ManetScenario:
             account=account, username=None if account else username, domain=domain, **kwargs
         )
         self.phones[username] = phone
+        self._phone_specs.append(
+            {
+                "node_index": node_index,
+                "username": username,
+                "domain": domain,
+                "account": account,
+                "kwargs": dict(kwargs),
+            }
+        )
         return phone
 
     def converge(self, duration: float | None = None) -> None:

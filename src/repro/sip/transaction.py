@@ -80,6 +80,11 @@ class _Transaction:
             )
 
     def _after(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        # Prune fired/cancelled handles first: a transaction on a lossy link
+        # reschedules its retransmission timer dozens of times, and keeping
+        # every dead handle until terminate() grows without bound.
+        if len(self._timers) > 2:
+            self._timers = [h for h in self._timers if not h.done]
         handle = self.sim.schedule(delay, self._guarded, callback)
         self._timers.append(handle)
         return handle
@@ -122,11 +127,12 @@ class ClientTransaction(_Transaction):
         self.on_timeout = on_timeout
         self.is_invite = request.method == "INVITE"
         self._interval = T1
+        self._retrans_timer: EventHandle | None = None
         self.state = TxnState.CALLING if self.is_invite else TxnState.TRYING
 
     def start(self) -> None:
         self._transmit()
-        self._after(self._interval, self._retransmit)
+        self._retrans_timer = self._after(self._interval, self._retransmit)
         self._after(TIMER_B if self.is_invite else TIMER_F, self._timed_out)
 
     def _transmit(self) -> None:
@@ -136,10 +142,10 @@ class ClientTransaction(_Transaction):
         if self.state in (TxnState.CALLING, TxnState.TRYING):
             self._transmit()
             self._interval = 2 * self._interval if self.is_invite else min(2 * self._interval, T2)
-            self._after(self._interval, self._retransmit)
+            self._retrans_timer = self._after(self._interval, self._retransmit)
         elif self.state is TxnState.PROCEEDING and not self.is_invite:
             self._transmit()
-            self._after(T2, self._retransmit)
+            self._retrans_timer = self._after(T2, self._retransmit)
 
     def _timed_out(self) -> None:
         if self.state in (TxnState.CALLING, TxnState.TRYING, TxnState.PROCEEDING):
@@ -156,8 +162,19 @@ class ClientTransaction(_Transaction):
         if response.is_provisional:
             if self.state in (TxnState.CALLING, TxnState.TRYING):
                 self._set_state(TxnState.PROCEEDING)
-                if not self.is_invite:
-                    self._after(T2, self._retransmit)
+                if self.is_invite:
+                    # Timer A stops on the first provisional response
+                    # (RFC 3261 17.1.1.2): the INVITE reached the far side,
+                    # so retransmitting it while PROCEEDING is pure noise.
+                    if self._retrans_timer is not None:
+                        self._retrans_timer.cancel()
+                        self._retrans_timer = None
+                else:
+                    # Timer E resets to T2 while PROCEEDING; cancel the
+                    # pending one so there is exactly one retransmit chain.
+                    if self._retrans_timer is not None:
+                        self._retrans_timer.cancel()
+                    self._retrans_timer = self._after(T2, self._retransmit)
             self.on_response(response)
             return
         if self.is_invite:

@@ -70,9 +70,17 @@ EVENT_KINDS: dict[str, str] = {
     "tunnel.release": "client released its lease",
     "tunnel.connected": "client brought the tunnel interface up",
     "tunnel.disconnected": "client tore the tunnel interface down",
+    "tunnel.nack": "gateway rejected a frame for an unknown/expired lease",
     # gateway — Internet gateway advertisement
     "gateway.up": "gateway provider started and advertised",
     "gateway.down": "gateway provider stopped and withdrew",
+    # fault — injected failures (repro.faults; node="" = network-wide)
+    "fault.node_crash": "injected node crash (stack torn down, host state lost)",
+    "fault.node_restart": "injected node restart (stack rebuilt from scratch)",
+    "fault.partition": "injected link partition between two node groups",
+    "fault.heal": "injected partition healed",
+    "fault.gateway_down": "injected gateway failure (detail.graceful says how)",
+    "fault.gateway_up": "injected gateway recovery (provider restarted)",
     # mobility — movement epochs
     "mobility.waypoint": "node picked a new waypoint (speed, target)",
 }

@@ -8,6 +8,7 @@ from repro.core import (
     ManetSlp,
     make_handler,
 )
+from repro.core.tunnel import TunnelServer
 from repro.errors import GatewayError
 from repro.netsim import (
     InternetCloud,
@@ -15,6 +16,7 @@ from repro.netsim import (
     Simulator,
     Stats,
     WirelessMedium,
+    make_internet_host,
     manet_ip,
     place_chain,
 )
@@ -116,6 +118,83 @@ class TestConnectionProvider:
         sim.run(17.0)
         assert not provider.connected
         assert "tunnel" not in nodes[0].default_route_names()
+
+    def test_failed_gateway_cooled_down_prefers_alternative(self):
+        """Regression (ISSUE 4): a gateway that failed on us must not be
+        re-selected over a working alternative while it cools down.
+
+        Pre-fix the provider always picked min-metric, so it hammered the
+        broken near gateway forever and never reached the far one.
+        """
+        sim, stats, cloud, nodes, slps, _ = build(n=4, gateway_index=None)
+        cloud.attach(nodes[1])
+        cloud.attach(nodes[3])
+        near = GatewayProvider(nodes[1], cloud, slps[1]).start()
+        GatewayProvider(nodes[3], cloud, slps[3]).start()
+        nodes[0].router.discover(nodes[1].ip)
+        nodes[0].router.discover(nodes[3].ip)
+        sim.run(3.0)
+        # The near gateway keeps advertising but its tunnel server is gone:
+        # lease requests to it black-hole.
+        near.tunnel_server.close()
+        provider = ConnectionProvider(nodes[0], slps[0], poll_interval=2.0).start()
+        sim.run(40.0)
+        assert provider.connected
+        assert provider.tunnel.gateway_ip == nodes[3].ip
+        assert stats.count("connection.gateway_failures") >= 1
+
+    def test_consecutive_failures_back_off_lookups(self):
+        """Regression (ISSUE 4): with no working gateway, retry attempts
+        must back off exponentially instead of polling at full rate."""
+        sim, stats, cloud, nodes, slps, gateway = build(gateway_index=2)
+        gateway.tunnel_server.close()  # advert up, lease requests black-hole
+        lookups = []
+        original = slps[0].find_services
+
+        def counting(service_type, callback=None, **kwargs):
+            lookups.append(sim.now)
+            return original(service_type, callback=callback, **kwargs)
+
+        slps[0].find_services = counting
+        provider = ConnectionProvider(nodes[0], slps[0], poll_interval=2.0).start()
+        sim.run(120.0)
+        assert not provider.connected
+        # Backoff doubles from poll_interval up to MAX_BACKOFF: roughly
+        # 7 attempts fit in 120s. Pre-fix, one every ~4s (about 30).
+        assert len(lookups) <= 12
+
+    def test_cooldown_is_preference_not_blacklist(self):
+        # The only gateway fails, enters cooldown, then comes back: the
+        # provider must still reconnect to it (fallback to cooled-down
+        # candidates when no alternative exists).
+        sim, stats, cloud, nodes, slps, gateway = build(gateway_index=2)
+        gateway.tunnel_server.close()
+        provider = ConnectionProvider(nodes[0], slps[0], poll_interval=2.0).start()
+        sim.run(10.0)
+        assert not provider.connected
+        assert stats.count("connection.gateway_failures") >= 1
+        gateway.tunnel_server = TunnelServer(nodes[2], cloud)
+        sim.run(sim.now + 20.0)  # well inside the 30s cooldown window
+        assert provider.connected
+        assert provider.tunnel.gateway_ip == nodes[2].ip
+
+    def test_gateway_restart_nack_reconnects_promptly(self):
+        """Regression (ISSUE 4): a restarted gateway NACKs frames for the
+        lost lease, and the client re-establishes within seconds instead
+        of waiting out the ~45s liveness deadline."""
+        sim, stats, cloud, nodes, slps, gateway = build(gateway_index=2)
+        provider = ConnectionProvider(nodes[0], slps[0], poll_interval=2.0).start()
+        sim.run(15.0)
+        assert provider.connected
+        # Power-cycle the gateway's tunnel endpoint: lease table wiped.
+        gateway.tunnel_server.close()
+        gateway.tunnel_server = TunnelServer(nodes[2], cloud)
+        host = make_internet_host(sim, cloud, "remote.example")
+        nodes[0].send_udp(host.wired_ip, 6000, 7000, b"probe")
+        sim.run(sim.now + 10.0)
+        assert stats.count("tunnel.nacks_received") >= 1
+        assert stats.count("connection.established") == 2
+        assert provider.connected
 
     def test_prefers_closer_gateway(self):
         sim, stats, cloud, nodes, slps, _ = build(n=4, gateway_index=None)

@@ -165,6 +165,63 @@ class TestDataPlane:
         sim.run(2.0)
         assert gateway.stats.count("tunnel.unauthorized_frames") == 1
 
+    def test_unknown_lease_frame_nacked_and_client_tears_down(self, sim, tunnel_setup):
+        """Regression (ISSUE 4): upstream data for a lease the gateway no
+        longer knows (e.g. after a gateway restart) is NACKed, and the
+        client reacts by tearing the tunnel down instead of black-holing
+        traffic until the liveness timeout."""
+        stats, cloud, client_node, gateway, server = tunnel_setup
+        client = TunnelClient(client_node, gateway.ip)
+        client.connect()
+        sim.run(2.0)
+        assert client.connected
+        # Gateway process restarts: same node, fresh lease table.
+        server.close()
+        TunnelServer(gateway, cloud)
+        client_node.send_udp("198.51.100.9", 6000, 7000, b"going nowhere")
+        sim.run(sim.now + 2.0)
+        assert client_node.stats.count("tunnel.nacks_received") == 1
+        assert not client.connected
+        assert "tunnel" not in client_node.default_route_names()
+
+    def test_lease_is_dead_exactly_at_expiry_instant(self, sim, tunnel_setup):
+        """Regression (ISSUE 4): ``active_leases`` and the upstream data
+        path must agree about a lease at the ``expires_at == now`` boundary
+        — inactive in both, with the frame NACKed rather than relayed."""
+        stats, cloud, client_node, gateway, server = tunnel_setup
+        client = TunnelClient(client_node, gateway.ip)
+        client.connect()
+        sim.run(2.0)
+        (lease,) = server.active_leases
+        lease.expires_at = sim.now
+        assert server.active_leases == []  # active iff now < expires_at
+        client_node.send_udp("198.51.100.9", 6000, 7000, b"stale lease")
+        sim.run(sim.now + 2.0)
+        # The gateway treated the frame as unauthorized (not relayed) and
+        # expired the lease on the data path, not just in the sweep.
+        assert gateway.stats.count("tunnel.unauthorized_frames") == 1
+        assert gateway.stats.count("tunnel.leases_expired") == 1
+        assert client_node.stats.count("tunnel.nacks_received") == 1
+        assert not client.connected
+
+    def test_nack_during_connect_fails_fast(self, sim, tunnel_setup):
+        # A NACK racing the initial REQUEST resolves the connect callback
+        # immediately instead of leaving it to the request timeout.
+        stats, cloud, client_node, gateway, server = tunnel_setup
+        from repro.core.tunnel import CTRL_NAK, _encode_ctrl
+        from repro.netsim.packet import PORT_SIPHOC_CTRL
+
+        server.close()  # nobody answers the REQUEST
+        client = TunnelClient(client_node, gateway.ip)
+        outcome = []
+        client.connect(outcome.append)
+        gateway.send_udp(
+            client_node.ip, PORT_SIPHOC_CTRL, PORT_SIPHOC_CTRL, _encode_ctrl(CTRL_NAK)
+        )
+        sim.run(1.0)  # well before REQUEST_TIMEOUT
+        assert outcome == [False]
+        assert not client.connected
+
     def test_traffic_without_lease_dropped_client_side(self, sim, tunnel_setup):
         stats, cloud, client_node, gateway, server = tunnel_setup
         client = TunnelClient(client_node, gateway.ip)

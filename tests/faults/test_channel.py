@@ -1,0 +1,106 @@
+"""Unit tests for the pluggable channel fault models."""
+
+import random
+
+import pytest
+
+from repro.faults import (
+    AsymmetricLossChannel,
+    GilbertElliottChannel,
+    UniformLossChannel,
+)
+
+
+def drop_sequence(channel, n=200, seed=99, link=("a", "b")):
+    rng = random.Random(seed)
+    return [channel.should_drop(link[0], link[1], rng) for _ in range(n)]
+
+
+class TestUniformLossChannel:
+    def test_rate_zero_never_drops_and_draws_nothing(self):
+        channel = UniformLossChannel(0.0)
+        rng = random.Random(1)
+        state = rng.getstate()
+        assert not any(drop_sequence(channel))
+        assert random.Random(1).getstate() == state  # rate 0 short-circuits
+
+    def test_rate_one_always_drops(self):
+        assert all(drop_sequence(UniformLossChannel(1.0)))
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.5])
+    def test_rejects_out_of_range(self, rate):
+        with pytest.raises(ValueError):
+            UniformLossChannel(rate)
+
+
+class TestGilbertElliott:
+    def test_same_seed_same_drop_sequence(self):
+        first = drop_sequence(GilbertElliottChannel(p_gb=0.2, p_bg=0.3))
+        second = drop_sequence(GilbertElliottChannel(p_gb=0.2, p_bg=0.3))
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_losses_are_burstier_than_uniform(self):
+        """With loss_bad=1/loss_good=0, drops come in runs, not i.i.d."""
+        drops = drop_sequence(
+            GilbertElliottChannel(p_gb=0.1, p_bg=0.3), n=2000
+        )
+        loss_rate = sum(drops) / len(drops)
+        uniform = drop_sequence(UniformLossChannel(loss_rate), n=2000, seed=7)
+
+        def mean_run(seq):
+            runs, current = [], 0
+            for dropped in seq:
+                if dropped:
+                    current += 1
+                elif current:
+                    runs.append(current)
+                    current = 0
+            if current:
+                runs.append(current)
+            return sum(runs) / max(1, len(runs))
+
+        assert mean_run(drops) > 1.5 * mean_run(uniform)
+
+    def test_per_link_state_is_independent(self):
+        channel = GilbertElliottChannel(p_gb=1.0, p_bg=0.0)  # bad after 1 tx
+        rng = random.Random(3)
+        channel.should_drop("a", "b", rng)
+        assert channel.link_state("a", "b") == "bad"
+        assert channel.link_state("b", "a") == "good"
+        assert channel.link_state("a", "c") == "good"
+
+    def test_good_state_with_zero_loss_is_clean(self):
+        channel = GilbertElliottChannel(p_gb=0.0, p_bg=1.0, loss_good=0.0)
+        assert not any(drop_sequence(channel))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            GilbertElliottChannel(p_gb=1.2)
+        with pytest.raises(ValueError):
+            GilbertElliottChannel(loss_bad=-0.5)
+
+
+class TestAsymmetricLossChannel:
+    def test_directions_differ(self):
+        channel = AsymmetricLossChannel(default=0.0)
+        channel.set_link("a", "b", 1.0)
+        rng = random.Random(5)
+        assert channel.should_drop("a", "b", rng)
+        assert not channel.should_drop("b", "a", rng)
+
+    def test_rates_mapping_constructor(self):
+        channel = AsymmetricLossChannel(rates={("a", "b"): 1.0}, default=0.0)
+        rng = random.Random(5)
+        assert channel.should_drop("a", "b", rng)
+        assert not channel.should_drop("c", "d", rng)
+
+    def test_default_applies_to_unknown_links(self):
+        channel = AsymmetricLossChannel(default=1.0)
+        assert all(drop_sequence(channel, link=("x", "y")))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            AsymmetricLossChannel(default=2.0)
+        with pytest.raises(ValueError):
+            AsymmetricLossChannel().set_link("a", "b", -1.0)

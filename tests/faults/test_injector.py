@@ -1,0 +1,141 @@
+"""FaultInjector behaviour against real ManetScenario instances."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import FaultInjector, FaultPlan
+from repro.scenarios import ManetConfig, ManetScenario
+
+
+def build(n_nodes=3, plan=None, gateways=0, tracing=False, **extra):
+    return ManetScenario(
+        ManetConfig(
+            n_nodes=n_nodes,
+            topology="chain",
+            routing="aodv",
+            seed=5,
+            internet_gateways=gateways,
+            tracing=tracing,
+            faults=plan,
+            **extra,
+        )
+    )
+
+
+class TestArm:
+    def test_scenario_start_arms_the_injector(self):
+        scenario = build(plan=FaultPlan().crash(10.0, 1))
+        assert scenario.faults is not None and not scenario.faults.armed
+        scenario.start()
+        assert scenario.faults.armed
+
+    def test_rejects_events_already_in_the_past(self):
+        scenario = build()
+        scenario.start()
+        scenario.sim.run(5.0)
+        injector = FaultInjector(scenario, FaultPlan().crash(2.0, 1))
+        with pytest.raises(ConfigError, match="past"):
+            injector.arm()
+
+    def test_rejects_gateway_events_on_wireless_only_nodes(self):
+        scenario = build()
+        injector = FaultInjector(scenario, FaultPlan().gateway_down(5.0, 0))
+        with pytest.raises(ConfigError, match="no Internet attachment"):
+            injector.arm()
+
+    def test_rejects_out_of_range_node(self):
+        scenario = build(n_nodes=2)
+        injector = FaultInjector(scenario, FaultPlan().crash(5.0, 7))
+        with pytest.raises(ConfigError):
+            injector.arm()
+
+
+class TestNodeFaults:
+    def test_crash_takes_node_down_silently(self):
+        scenario = build(plan=FaultPlan().crash(2.0, 1))
+        scenario.start()
+        scenario.sim.run(3.0)
+        node = scenario.nodes[1]
+        assert not node.up
+        assert not scenario.stacks[1]._started
+
+    def test_restart_rebuilds_the_stack_and_phones(self):
+        scenario = build(plan=FaultPlan().crash(2.0, 1).restart(4.0, 1))
+        scenario.start()
+        scenario.add_phone(1, "carol")
+        old_stack = scenario.stacks[1]
+        old_phone = scenario.phones["carol"]
+        scenario.sim.run(6.0)
+        assert scenario.nodes[1].up
+        assert scenario.stacks[1] is not old_stack
+        assert scenario.stacks[1]._started
+        assert scenario.phones["carol"] is not old_phone
+        assert old_phone in scenario._retired_phones
+
+    def test_restarted_gateway_node_regains_wired_route(self):
+        scenario = build(
+            n_nodes=3, gateways=1, plan=FaultPlan().crash(2.0, 2).restart(4.0, 2)
+        )
+        scenario.start()
+        scenario.sim.run(6.0)
+        node = scenario.nodes[2]
+        assert node.up and node.wired_ip is not None
+        assert scenario.stacks[2].gateway is not None
+        assert scenario.stacks[2].gateway.running
+
+
+class TestPartitionFaults:
+    def test_partition_blocks_links_and_heal_restores(self):
+        plan = FaultPlan().partition(2.0, [0], [1, 2], name="split").heal(4.0, "split")
+        scenario = build(plan=plan)
+        scenario.start()
+        a, b = scenario.nodes[0].ip, scenario.nodes[1].ip
+        scenario.sim.run(3.0)
+        assert scenario.medium.link_blocked(a, b)
+        assert scenario.medium.partition_names == ["split"]
+        scenario.sim.run(5.0)
+        assert not scenario.medium.link_blocked(a, b)
+        assert scenario.medium.partition_names == []
+
+
+class TestGatewayFaults:
+    def test_graceful_down_withdraws_advert(self):
+        plan = FaultPlan().gateway_down(2.0, 2, graceful=True)
+        scenario = build(gateways=1, plan=plan)
+        scenario.start()
+        scenario.sim.run(3.0)
+        gateway = scenario.stacks[2].gateway
+        assert gateway is not None and not gateway.running
+        assert scenario.stats.counters["gateway.failed"] == 0
+
+    def test_abrupt_down_counts_as_failure_and_up_recovers(self):
+        plan = FaultPlan().gateway_down(2.0, 2).gateway_up(5.0, 2)
+        scenario = build(gateways=1, plan=plan)
+        scenario.start()
+        scenario.sim.run(3.0)
+        assert not scenario.stacks[2].gateway.running
+        assert scenario.stats.counters["gateway.failed"] == 1
+        scenario.sim.run(6.0)
+        assert scenario.stacks[2].gateway.running
+
+
+class TestBookkeeping:
+    def test_applied_log_matches_firing_order(self):
+        plan = FaultPlan().restart(4.0, 1).crash(2.0, 1)
+        scenario = build(plan=plan)
+        scenario.start()
+        scenario.sim.run(6.0)
+        applied = scenario.faults.applied
+        assert [entry[1]["kind"] for entry in applied] == ["node_crash", "node_restart"]
+        assert [entry[0] for entry in applied] == [2.0, 4.0]
+
+    def test_fault_events_reach_the_trace(self):
+        plan = FaultPlan().crash(2.0, 1).restart(4.0, 1)
+        scenario = build(plan=plan, tracing=True)
+        scenario.start()
+        scenario.sim.run(6.0)
+        kinds = [event.kind for event in scenario.trace if event.category == "fault"]
+        assert kinds == ["fault.node_crash", "fault.node_restart"]
+        crash = next(e for e in scenario.trace if e.kind == "fault.node_crash")
+        assert crash.node == scenario.nodes[1].ip
+        assert crash.detail["node_index"] == 1

@@ -1,0 +1,61 @@
+"""SLP cache behaviour across an advertiser crash/restart (ISSUE 4).
+
+An abrupt crash sends no withdrawal, so remote caches serve the stale
+gateway entry until its lifetime runs out; after the advertiser restarts,
+its proactive re-advertisement repopulates the caches.
+"""
+
+from repro.faults import FaultPlan
+from repro.scenarios import ManetConfig, ManetScenario
+from repro.slp.service import SERVICE_GATEWAY
+
+
+def build(plan):
+    return ManetScenario(
+        ManetConfig(
+            n_nodes=3,
+            topology="chain",
+            routing="aodv",
+            seed=5,
+            internet_gateways=1,
+            faults=plan,
+        )
+    )
+
+
+def lookup(scenario, hits, label):
+    scenario.stacks[0].manet_slp.find_services(
+        SERVICE_GATEWAY, callback=lambda entries: hits.append((label, len(entries)))
+    )
+
+
+class TestSlpAdvertiserRestart:
+    def test_entry_expires_then_reappears_after_restart(self):
+        # Gateway adverts carry a 60s lifetime and refresh every 30s; the
+        # crash at t=20 stops the refresh, so remote caches go dry between
+        # roughly t=80 and the restart at t=120.
+        plan = FaultPlan().crash(20.0, 2).restart(120.0, 2)
+        scenario = build(plan)
+        scenario.start()
+        sim = scenario.sim
+        hits = []
+
+        sim.run(10.0)
+        lookup(scenario, hits, "alive")
+        sim.run(25.0)  # crash fired at t=20, no withdrawal was sent
+        lookup(scenario, hits, "stale-window")
+        sim.run(100.0)  # the learned entry's lifetime has run out
+        lookup(scenario, hits, "expired")
+        sim.run(140.0)  # restarted gateway re-advertised
+        lookup(scenario, hits, "recovered")
+        sim.run(145.0)
+
+        results = dict(hits)
+        assert results["alive"] == 1
+        # The crash was silent: the cache still answers inside the lifetime.
+        assert results["stale-window"] == 1
+        # After expiry the lookup misses (the network query goes unanswered).
+        assert results["expired"] == 0
+        assert results["recovered"] == 1
+        assert len(hits) == 4
+        scenario.stop()

@@ -1,0 +1,7 @@
+"""FAULT001 scoping fixture: a seeded Random outside faults/ is fine."""
+
+import random
+
+
+def make_seeded_rng(seed):
+    return random.Random(seed)

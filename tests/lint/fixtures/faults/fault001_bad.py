@@ -1,0 +1,21 @@
+"""FAULT001 positive fixture: fault-schedule code owning a clock or RNG.
+
+Everything here also shows the overlap with the base rules: the wall-clock
+read trips DET001 too, the global-RNG draw trips DET002 too, and the
+*seeded* Random — which DET002 allows — is still banned under faults/.
+"""
+
+import random
+import time
+
+
+def jittered_at(base):
+    return base + random.random()
+
+
+def make_private_rng(seed):
+    return random.Random(seed)
+
+
+def stamp():
+    return time.time()

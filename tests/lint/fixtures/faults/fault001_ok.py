@@ -1,0 +1,9 @@
+"""FAULT001 negative fixture: randomness flows in from Simulator.rng."""
+
+
+def should_drop(loss_rate, rng):
+    return rng.random() < loss_rate
+
+
+def fire_at(plan_event, sim):
+    return max(plan_event.at, sim.now)

@@ -34,6 +34,9 @@ EXPECTED = {
     "cache002_ok.py": [],
     "sim001_bad.py": ["SIM001"] * 3,
     "sim001_ok.py": [],
+    "faults/fault001_bad.py": ["DET001", "DET002", "FAULT001", "FAULT001", "FAULT001"],
+    "faults/fault001_ok.py": [],
+    "fault001_unscoped.py": [],
     "suppressed.py": ["DET001"],
 }
 

@@ -1,0 +1,97 @@
+"""Route recovery under faults (ISSUE 4 satellite coverage).
+
+Three gaps the fault-injection work flushed out: AODV re-discovery after a
+route idles past ACTIVE_ROUTE_TIMEOUT, RERR propagation when a relay
+crashes mid-call, and OLSR topology repair after a relay crash.
+"""
+
+from repro.faults import FaultPlan
+from repro.routing import Aodv
+from repro.scenarios import ManetConfig, ManetScenario
+from repro.trace import TraceCollector
+from tests.routing.test_aodv import build_aodv_chain
+
+
+class TestAodvRouteExpiry:
+    def test_route_rediscovered_after_idle_expiry(self):
+        sim, stats, nodes, daemons = build_aodv_chain(4)
+        collector = TraceCollector().attach(sim)
+        got = []
+        nodes[3].bind(9000, lambda data, src, sport: got.append(sim.now))
+        nodes[0].send_udp(nodes[3].ip, 9000, 9000, b"one")
+        sim.run(5.0)
+        assert len(got) == 1
+        assert daemons[0].hop_count_to(nodes[3].ip) == 3
+        # Idle well past ACTIVE_ROUTE_TIMEOUT: every route on the path dies.
+        sim.run(5.0 + Aodv.ACTIVE_ROUTE_TIMEOUT + 3.0)
+        assert daemons[0].hop_count_to(nodes[3].ip) is None
+        nodes[0].send_udp(nodes[3].ip, 9000, 9000, b"two")
+        sim.run(sim.now + 5.0)
+        assert len(got) == 2  # delivered again after a fresh discovery
+        assert daemons[0].hop_count_to(nodes[3].ip) == 3
+        kinds = [event.kind for event in collector]
+        assert "aodv.route_expired" in kinds
+        # Two full discoveries completed at the originator.
+        completions = [
+            event for event in collector
+            if event.kind == "aodv.discovery_complete" and event.node == nodes[0].ip
+        ]
+        assert len(completions) == 2
+
+
+class TestAodvRelayCrash:
+    def test_rerr_propagates_and_traffic_reroutes(self):
+        # Chain at 70m spacing / 150m tx range: each node reaches +-2
+        # neighbours, so the path survives any single relay crash.
+        plan = FaultPlan().crash(8.0, 2)
+        scenario = ManetScenario(
+            ManetConfig(
+                n_nodes=5,
+                topology="chain",
+                routing="aodv",
+                spacing=70.0,
+                seed=11,
+                tracing=True,
+                faults=plan,
+            )
+        )
+        scenario.start()
+        scenario.add_phone(0, "alice")
+        scenario.add_phone(4, "bob")
+        scenario.converge()
+        # First call spans the relay crash at t=8.
+        first = scenario.call_and_wait("alice", "sip:bob@voicehoc.ch", duration=10.0)
+        assert first.established
+        rerrs = [event for event in scenario.trace if event.kind == "aodv.rerr"]
+        assert any(event.detail.get("origin") for event in rerrs)
+        # A second call must come up over the repaired route.
+        second = scenario.call_and_wait("alice", "sip:bob@voicehoc.ch", duration=3.0)
+        assert second.established
+        scenario.stop()
+
+
+class TestOlsrRelayCrash:
+    def test_topology_repairs_and_call_succeeds(self):
+        plan = FaultPlan().crash(14.0, 2)
+        scenario = ManetScenario(
+            ManetConfig(
+                n_nodes=5,
+                topology="chain",
+                routing="olsr",
+                spacing=70.0,
+                seed=4,
+                faults=plan,
+            )
+        )
+        scenario.start()
+        scenario.add_phone(0, "alice")
+        scenario.add_phone(4, "bob")
+        scenario.converge()
+        scenario.sim.run(14.0)
+        assert not scenario.nodes[2].up
+        # Let OLSR age out the dead relay and re-run topology control.
+        scenario.sim.run(40.0)
+        assert scenario.stacks[0].routing.hop_count_to(scenario.nodes[4].ip) is not None
+        record = scenario.call_and_wait("alice", "sip:bob@voicehoc.ch", duration=3.0)
+        assert record.established
+        scenario.stop()

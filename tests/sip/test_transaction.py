@@ -9,7 +9,7 @@ from repro.sip import (
     TransactionLayer,
     parse_message,
 )
-from repro.sip.transaction import T1, TIMER_B, TIMER_F
+from repro.sip.transaction import T1, T2, TIMER_B, TIMER_F
 from tests.conftest import make_chain
 
 
@@ -178,6 +178,68 @@ class TestServer:
         sim.run(3.0)
         assert ("INVITE", False) in seen
         assert ("ACK", True) in seen  # 2xx ACK is its own "transaction", txn=None
+
+
+class TestTimerHygiene:
+    """Regression tests for retransmission-timer leaks (ISSUE 4).
+
+    The pre-fix layer never cancelled Timer A on an INVITE provisional and
+    stacked a second Timer E chain on a non-INVITE provisional, and dead
+    EventHandles accumulated in ``_timers`` until terminate().
+    """
+
+    def test_invite_provisional_cancels_timer_a(self, sim, pair):
+        a, b, la, lb = pair
+
+        def on_request(request, txn, source):
+            txn.send_response(request.create_response(180))
+
+        lb.on_request = on_request
+        txn = la.send_request(
+            make_request("INVITE", b.ip), (b.ip, 5060), lambda r: None
+        )
+        sim.run(1.0)
+        assert txn.state.value == "proceeding"
+        # RFC 3261 17.1.1.2: the INVITE reached the server, so the
+        # retransmission timer must be cancelled, not left to spin.
+        assert txn._retrans_timer is None
+
+    def test_non_invite_provisional_keeps_single_retransmit_chain(self, sim, medium):
+        # Raw peer: answer the first datagram with a 100 Trying, then go
+        # silent. The client must retransmit on exactly one Timer E chain
+        # (every T2) — pre-fix the TRYING-era chain kept running alongside
+        # the PROCEEDING one, roughly doubling the datagram count.
+        a, b = make_chain(sim, medium, 2, static_routes=True)
+        ta = SipTransport(a, 5060)
+        la = TransactionLayer(ta, sim)
+        datagrams = []
+
+        def wire(data, src, sport):
+            datagrams.append(sim.now)
+            if len(datagrams) == 1:
+                request = parse_message(data)
+                response = request.create_response(100)
+                b.send_udp(a.ip, 5060, 5060, response.serialize())
+
+        b.bind(5060, wire)
+        la.send_request(make_request("OPTIONS", b.ip), (b.ip, 5060), lambda r: None)
+        sim.run(TIMER_F - 2.0)
+        # initial transmit + one retransmit every T2 until Timer F
+        expected = 1 + int((TIMER_F - 2.0) / T2)
+        assert len(datagrams) <= expected + 1
+
+    def test_dead_timer_handles_are_pruned(self, sim, medium):
+        # Black-hole peer: the request retransmits until Timer F, and each
+        # reschedule must not leave the fired handle behind in _timers.
+        a, b = make_chain(sim, medium, 2, static_routes=True)
+        ta = SipTransport(a, 5060)
+        la = TransactionLayer(ta, sim)
+        txn = la.send_request(
+            make_request("OPTIONS", b.ip), (b.ip, 5060), lambda r: None
+        )
+        sim.run(TIMER_F - 2.0)
+        # pending: Timer F + the live retransmit timer (+ one just-appended)
+        assert len(txn._timers) <= 3
 
 
 class TestMatching:

@@ -13,9 +13,17 @@ class TestTaxonomy:
 
     def test_categories_are_sorted_and_complete(self):
         assert list(CATEGORIES) == sorted(CATEGORIES)
-        assert {"packet", "aodv", "olsr", "slp", "sip", "tunnel", "gateway", "mobility"} == set(
-            CATEGORIES
-        )
+        assert {
+            "packet",
+            "aodv",
+            "olsr",
+            "slp",
+            "sip",
+            "tunnel",
+            "gateway",
+            "mobility",
+            "fault",
+        } == set(CATEGORIES)
 
 
 class TestTraceEvent:

@@ -16,6 +16,9 @@ python -m repro.lint src/
 echo "== repro.trace smoke (traced scenario, JSONL schema) =="
 python -m repro.trace smoke
 
+echo "== repro.faults smoke (chaos recovery + deterministic schedules) =="
+python -m repro.faults smoke
+
 echo "== ruff check =="
 if command -v ruff >/dev/null 2>&1; then
     ruff check src/
