@@ -72,3 +72,15 @@ class SiphocConfig:
     register_upstream: bool = True
     #: Lifetime of the SIP-contact adverts the proxy publishes via MANET SLP.
     contact_advert_lifetime: float = 120.0
+    # -- overload control (DESIGN.md §5f; everything defaults to off) --------
+    #: Reject new INVITE/REGISTER with 503 while this many proxied
+    #: dialog-initiating requests await a final response (None = no limit).
+    admission_max_inflight: int | None = None
+    #: Reject while the node's bounded TX queue is at or beyond this
+    #: occupancy fraction, e.g. 0.75 (None = ignore queue depth).
+    admission_queue_watermark: float | None = None
+    #: Retry-After delta-seconds advertised on admission rejections.
+    admission_retry_after: int = 5
+    #: Cap on concurrently active tunnel leases at a gateway this node runs
+    #: (None = unlimited); excess CTRL_REQUESTs are NAKed to retry later.
+    gateway_max_leases: int | None = None

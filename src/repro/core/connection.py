@@ -9,6 +9,7 @@ connectivity (the SIPHoc proxy's WAN leg) subscribe to the callbacks.
 
 from __future__ import annotations
 
+import random
 from typing import Callable
 
 from repro.core.manet_slp import ManetSlp
@@ -17,6 +18,31 @@ from repro.netsim.node import Node
 from repro.slp.service import SERVICE_GATEWAY, ServiceEntry
 
 ConnectivityCallback = Callable[[str], None]
+
+
+def node_backoff_rng(node: Node, salt: int = 0) -> random.Random:
+    """A private RNG for retry jitter, pinned by (scenario seed, node id).
+
+    Separate from ``sim.rng`` on purpose: drawing jitter from the shared
+    stream would perturb every later draw and break bit-identity of runs
+    that never retry. Integer arithmetic only — no string hashing — so the
+    seed is stable across interpreter processes.
+    """
+    return random.Random((node.sim.seed * 1_000_003 + node.node_id) * 127 + salt)
+
+
+def backoff_with_jitter(
+    base: float,
+    consecutive_failures: int,
+    max_backoff: float,
+    rng: random.Random,
+    jitter: float = 0.5,
+) -> float:
+    """Exponential backoff ``base * 2^(n-1)`` capped at ``max_backoff``,
+    stretched by up to ``jitter`` fraction so synchronized clients that
+    failed in lockstep (e.g. on one gateway crash) desynchronize."""
+    delay = min(base * (2 ** (consecutive_failures - 1)), max_backoff)
+    return delay * (1.0 + jitter * rng.random())
 
 
 class ConnectionProvider:
@@ -49,6 +75,7 @@ class ConnectionProvider:
         self._failed: dict[str, float] = {}
         self._consecutive_failures = 0
         self._retry_at = 0.0
+        self._backoff_rng = node_backoff_rng(node)
         self.on_connected: ConnectivityCallback | None = None
         self.on_disconnected: Callable[[], None] | None = None
 
@@ -144,9 +171,11 @@ class ConnectionProvider:
             self._failed[gateway_ip] = self.sim.now + self.gateway_cooldown
             self.node.stats.increment("connection.gateway_failures")
         self._consecutive_failures += 1
-        backoff = min(
-            self.poll_interval * (2 ** (self._consecutive_failures - 1)),
+        backoff = backoff_with_jitter(
+            self.poll_interval,
+            self._consecutive_failures,
             self.MAX_BACKOFF,
+            self._backoff_rng,
         )
         self._retry_at = self.sim.now + backoff
 

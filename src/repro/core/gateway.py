@@ -26,11 +26,14 @@ class GatewayProvider:
         cloud: InternetCloud,
         manet_slp: ManetSlp,
         advert_lifetime: float = 60.0,
+        max_leases: int | None = None,
     ) -> None:
         self.node = node
         self.cloud = cloud
         self.manet_slp = manet_slp
         self.advert_lifetime = advert_lifetime
+        #: Tunnel lease-capacity cap handed to the TunnelServer (§5f).
+        self.max_leases = max_leases
         self.tunnel_server: TunnelServer | None = None
         self._service_url: ServiceUrl | None = None
 
@@ -45,7 +48,7 @@ class GatewayProvider:
             raise GatewayError(
                 f"{self.node.hostname} has no Internet attachment; cannot be a gateway"
             )
-        self.tunnel_server = TunnelServer(self.node, self.cloud)
+        self.tunnel_server = TunnelServer(self.node, self.cloud, max_leases=self.max_leases)
         self._service_url = ServiceUrl(
             service_type=SERVICE_GATEWAY, host=self.node.ip, port=PORT_SIPHOC_CTRL
         )

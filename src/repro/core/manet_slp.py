@@ -39,6 +39,11 @@ class ManetSlpConfig:
     lookup_timeout: float = 2.0
     #: Resolve a pending lookup as soon as the first match arrives.
     resolve_on_first: bool = True
+    #: Minimum spacing between *re*-advertisements of the same service (§5f).
+    #: Under registration churn (e.g. a flapping client re-REGISTERing) this
+    #: keeps the piggyback channel from being monopolized by one entry.
+    #: 0.0 = off (legacy behavior); first registrations always advertise.
+    min_readvertise_interval: float = 0.0
 
 
 @dataclass
@@ -67,6 +72,9 @@ class ManetSlp:
         self.handler = handler
         self._local: dict[str, ServiceEntry] = {}
         self._cache: dict[str, ServiceEntry] = {}
+        # key -> sim time of the last advert actually handed to the handler
+        # (the rate limiter's memory; entries leave with their registration).
+        self._last_advertised: dict[str, float] = {}
         self._pending: dict[int, _PendingLookup] = {}
         self._xid = itertools.count(1)
         self._refresh_task = None
@@ -108,19 +116,25 @@ class ManetSlp:
             expires_at=self.sim.now + life,
             origin=self.node.ip,
         )
-        self._local[entry.key()] = entry
+        key = entry.key()
+        rearming = key in self._local
+        self._local[key] = entry
+        self.node.stats.increment("manetslp.registrations")
+        if rearming and self._suppress_readvertise(key):
+            return entry
         tracer = self.sim.tracer
         if tracer is not None:
             tracer.emit(
                 "slp.advertise", self.node.ip, url=str(entry.url), lifetime=life,
             )
+        self._last_advertised[key] = self.sim.now
         self.handler.advertise(entry)
-        self.node.stats.increment("manetslp.registrations")
         return entry
 
     def deregister(self, url: ServiceUrl | str) -> None:
         key = str(ServiceUrl.parse(url) if isinstance(url, str) else url)
         entry = self._local.pop(key, None)
+        self._last_advertised.pop(key, None)
         if entry is not None:
             tracer = self.sim.tracer
             if tracer is not None:
@@ -138,6 +152,7 @@ class ManetSlp:
             return
         key = str(ServiceUrl.parse(url) if isinstance(url, str) else url)
         self._local.pop(key, None)
+        self._last_advertised.pop(key, None)
 
     def find_services(
         self,
@@ -299,8 +314,30 @@ class ManetSlp:
                 )
         pending.callback(results)
 
+    def _suppress_readvertise(self, key: str) -> bool:
+        """Rate limiter: withhold a re-advert sent too soon after the last.
+
+        Local state (entry contents, expiry) is always updated by the
+        caller; only the network-facing ``handler.advertise`` is withheld.
+        """
+        interval = self.config.min_readvertise_interval
+        if interval <= 0:
+            return False
+        last = self._last_advertised.get(key)
+        if last is None or self.sim.now - last >= interval:
+            return False
+        self.node.stats.increment("manetslp.adverts_suppressed")
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit("slp.advert_suppressed", self.node.ip, url=key)
+        return True
+
     def _refresh_local(self) -> None:
         now = self.sim.now
         for entry in list(self._local.values()):
             entry.expires_at = now + entry.lifetime
+            key = entry.key()
+            if self._suppress_readvertise(key):
+                continue
+            self._last_advertised[key] = now
             self.handler.advertise(entry)

@@ -29,7 +29,7 @@ from repro.core.media_relay import MediaRelay
 from repro.netsim.node import Node
 from repro.sip.dialog import new_call_id, new_tag
 from repro.sip.message import Headers, SipRequest, SipResponse
-from repro.sip.proxy import ProxyCore, ProxyLeg, RoutingContext
+from repro.sip.proxy import AdmissionControl, ProxyCore, ProxyLeg, RoutingContext
 from repro.sip.registrar import LocationService
 from repro.sip.transport import SipTransport
 from repro.sip.uri import NameAddr, SipUri
@@ -59,6 +59,15 @@ class SiphocProxy:
         self.core = ProxyCore(node, port=self.config.proxy_port)
         self.core.on_register = self._handle_register
         self.core.route_fn = self._route
+        if (
+            self.config.admission_max_inflight is not None
+            or self.config.admission_queue_watermark is not None
+        ):
+            self.core.admission = AdmissionControl(
+                max_inflight=self.config.admission_max_inflight,
+                queue_watermark=self.config.admission_queue_watermark,
+                retry_after=self.config.admission_retry_after,
+            )
         self.media_relay = MediaRelay(node)
         self.core.media_filter = self._media_filter
         self.location = LocationService()

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.core.config import SipAccount
+from repro.core.connection import backoff_with_jitter, node_backoff_rng
 from repro.netsim.node import Node
 from repro.rtp.codecs import Codec, G711, H263, codec_for_payload_type
 from repro.rtp.quality import CallQuality
@@ -41,6 +42,10 @@ class CallRecord:
     ended_at: float | None = None
     final_state: str = ""
     failure_status: int | None = None
+    #: Retry-After seconds from the failure response, if any (§5f).
+    retry_after: int | None = None
+    #: 1 for the first dial, 2+ for automatic 503 retries of the same target.
+    attempt: int = 1
     quality: CallQuality | None = None
     video: "VideoStats | None" = None
 
@@ -104,6 +109,9 @@ class TextMessage:
 class SoftPhone:
     """A SIP softphone with optional simulated voice media."""
 
+    #: Cap on the exponential part of the 503 retry backoff (seconds).
+    RETRY_BACKOFF_CAP = 32.0
+
     def __init__(
         self,
         node: Node,
@@ -116,6 +124,8 @@ class SoftPhone:
         playout_delay: float = 0.06,
         video: bool = False,
         video_codec: Codec = H263,
+        retry_on_503: bool = False,
+        max_call_attempts: int = 3,
     ) -> None:
         self.node = node
         self.sim = node.sim
@@ -127,6 +137,13 @@ class SoftPhone:
         self.playout_delay = playout_delay
         self.video = video
         self.video_codec = video_codec
+        #: Honor 503 Retry-After from an overloaded proxy by redialing (and
+        #: re-registering) after Retry-After + jittered exponential backoff
+        #: (§5f). Off by default: a stock softphone just reports the failure.
+        self.retry_on_503 = retry_on_503
+        self.max_call_attempts = max_call_attempts
+        self._backoff_rng = node_backoff_rng(node, salt=1)
+        self._register_failures = 0
         self._video_sessions: dict[str, RtpSession] = {}
         if account.uses_local_proxy:
             outbound = ("127.0.0.1", account.outbound_proxy_port)
@@ -164,15 +181,43 @@ class SoftPhone:
         """Boot the phone; by default it immediately registers (step 1) and
         keeps the binding alive by re-registering at half the expiry."""
         if register:
-            self.ua.register(
-                expires=expires,
-                on_result=(lambda ok, resp: on_registered(ok)) if on_registered else None,
-            )
+            if self.retry_on_503:
+                self._register_with_backoff(expires, on_registered)
+            else:
+                self.ua.register(
+                    expires=expires,
+                    on_result=(lambda ok, resp: on_registered(ok)) if on_registered else None,
+                )
             if self._refresh_task is None and expires > 1:
                 self._refresh_task = self.sim.schedule_periodic(
                     expires / 2, lambda: self.ua.register(expires=expires), jitter=0.05
                 )
         return self
+
+    def _register_with_backoff(
+        self,
+        expires: int,
+        on_registered: Callable[[bool], None] | None = None,
+    ) -> None:
+        """REGISTER, honoring 503 Retry-After with jittered backoff (§5f)."""
+
+        def on_result(ok: bool, response) -> None:
+            if ok:
+                self._register_failures = 0
+            elif response is not None and response.status == 503:
+                self._register_failures += 1
+                delay = (response.retry_after or 1) + backoff_with_jitter(
+                    1.0,
+                    self._register_failures,
+                    self.RETRY_BACKOFF_CAP,
+                    self._backoff_rng,
+                )
+                self.node.stats.increment("softphone.register_retries")
+                self.sim.schedule(delay, self._register_with_backoff, expires)
+            if on_registered is not None:
+                on_registered(ok)
+
+        self.ua.register(expires=expires, on_result=on_result)
 
     def stop(self) -> None:
         self.ua.set_presence(OFFLINE)  # last NOTIFY to watchers before we go
@@ -204,13 +249,23 @@ class SoftPhone:
         target: str,
         duration: float | None = None,
         on_state: Callable[[Call], None] | None = None,
+        _attempt: int = 1,
     ) -> OutgoingCall:
-        """Dial ``target`` (an AOR). ``duration`` auto-hangs-up after connect."""
-        record = CallRecord(direction="out", peer=target, placed_at=self.sim.now)
+        """Dial ``target`` (an AOR). ``duration`` auto-hangs-up after connect.
+
+        With ``retry_on_503`` the phone automatically redials after a 503,
+        waiting out the proxy's Retry-After plus jittered backoff; each
+        attempt gets its own :class:`CallRecord` (``attempt`` numbers them).
+        """
+        record = CallRecord(
+            direction="out", peer=target, placed_at=self.sim.now, attempt=_attempt
+        )
         self.history.append(record)
 
         def state_hook(call: Call) -> None:
             self._track_call(call, record, duration)
+            if call.state is CallState.FAILED:
+                self._maybe_retry_503(call, target, duration, on_state, _attempt)
             if on_state is not None:
                 on_state(call)
 
@@ -224,6 +279,26 @@ class SoftPhone:
         call = self.ua.call(target, sdp=sdp, on_state=state_hook)
         self._records[call.call_id] = record
         return call
+
+    def _maybe_retry_503(
+        self,
+        call: Call,
+        target: str,
+        duration: float | None,
+        on_state: Callable[[Call], None] | None,
+        attempt: int,
+    ) -> None:
+        if (
+            not self.retry_on_503
+            or call.failure_status != 503
+            or attempt >= self.max_call_attempts
+        ):
+            return
+        delay = (call.retry_after or 1) + backoff_with_jitter(
+            1.0, attempt, self.RETRY_BACKOFF_CAP, self._backoff_rng
+        )
+        self.node.stats.increment("softphone.call_retries")
+        self.sim.schedule(delay, self.place_call, target, duration, on_state, attempt + 1)
 
     # -- presence ------------------------------------------------------------------------
     @property
@@ -339,6 +414,7 @@ class SoftPhone:
             record.ended_at = self.sim.now
             record.final_state = call.state.value
             record.failure_status = call.failure_status
+            record.retry_after = call.retry_after
             self._stop_media(call, record)
         self._update_own_presence()
 

@@ -68,7 +68,9 @@ class SiphocStack:
         if node.wired_ip is not None:
             if cloud is None:
                 raise ConfigError("a gateway node needs the Internet cloud reference")
-            self.gateway = GatewayProvider(node, cloud, self.manet_slp)
+            self.gateway = GatewayProvider(
+                node, cloud, self.manet_slp, max_leases=self.config.gateway_max_leases
+            )
         self.phones: list[SoftPhone] = []
         self._next_phone_port = 5070
         self._started = False

@@ -1,4 +1,4 @@
-"""The project-specific rule set: DET001–DET003, CACHE001–CACHE002, SIM001.
+"""The project rule set: DET001–DET003, CACHE001–CACHE002, SIM001, FAULT001, OVR001.
 
 Every rule guards an invariant the simulator's determinism or PR 1's
 caching layer depends on; DESIGN.md §5c documents the rationale for each.
@@ -523,6 +523,93 @@ class FaultScheduleRule(Rule):
 
 
 # ---------------------------------------------------------------------------
+# OVR001 — unbounded queues in overload-sensitive subsystems
+# ---------------------------------------------------------------------------
+
+#: Terminal names that declare an intent to queue. Matching assignment
+#: targets must not be initialized as unbounded lists.
+_QUEUE_NAME_RE = re.compile(r"(queue|backlog|fifo)$", re.IGNORECASE)
+
+
+def _terminal_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _deque_is_bounded(node: ast.Call) -> bool:
+    """``deque(iterable, maxlen)`` or any explicit ``maxlen=`` keyword."""
+    if len(node.args) >= 2:
+        return True
+    return any(kw.arg == "maxlen" for kw in node.keywords)
+
+
+class _UnboundedQueueVisitor(RuleVisitor):
+    def visit_Call(self, node: ast.Call) -> None:
+        name = self.ctx.resolve_dotted(node.func)
+        if name == "collections.deque" and not _deque_is_bounded(node):
+            self.report(
+                node,
+                "unbounded collections.deque(): hot-path queues in netsim/ "
+                "and core/ must declare a capacity (maxlen=...) or carry an "
+                "explicit '# lint: disable=OVR001' justifying the exception",
+            )
+        self.generic_visit(node)
+
+    def _flag_list_queue(self, stmt: ast.AST, target: ast.expr, value: ast.expr) -> None:
+        name = _terminal_name(target)
+        if name is None or _QUEUE_NAME_RE.search(name) is None:
+            return
+        is_bare_list = isinstance(value, ast.List) and not value.elts
+        is_list_call = (
+            isinstance(value, ast.Call)
+            and self.ctx.resolve_dotted(value.func) == "list"
+            and not value.args
+            and not value.keywords
+        )
+        if is_bare_list or is_list_call:
+            self.report(
+                stmt,
+                f"queue-named {name!r} initialized as an unbounded list: use "
+                "a capacity-bounded structure (deque(maxlen=...) or "
+                "InterfaceTxQueue) or '# lint: disable=OVR001' with a reason",
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._flag_list_queue(node, target, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._flag_list_queue(node, node.target, node.value)
+        self.generic_visit(node)
+
+
+class UnboundedQueueRule(Rule):
+    id = "OVR001"
+    title = "no unbounded queues in netsim/ and core/ hot paths"
+    rationale = (
+        "Overload control (§5f) only degrades gracefully if every buffer "
+        "between admission and the air interface is bounded; one unbounded "
+        "deque or bare-list queue turns backpressure into silent memory "
+        "growth and unbounded latency. The simulator's event heap is exempt "
+        "(virtual events, not in-flight traffic)."
+    )
+    visitor_class = _UnboundedQueueVisitor
+
+    SCOPED_DIRS = frozenset({"netsim", "core"})
+
+    def applies_to(self, path: Path) -> bool:
+        parts = path.parts
+        if len(parts) >= 2 and parts[-2:] == ("netsim", "simulator.py"):
+            return False
+        return any(part in self.SCOPED_DIRS for part in parts)
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -534,6 +621,7 @@ ALL_RULES: tuple[Rule, ...] = (
     PositionWriteRule(),
     TimeEqualityRule(),
     FaultScheduleRule(),
+    UnboundedQueueRule(),
 )
 
 _RULES_BY_ID = {rule.id: rule for rule in ALL_RULES}

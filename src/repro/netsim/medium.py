@@ -266,6 +266,15 @@ class WirelessMedium:
     def _tx_time(self, packet: Packet) -> float:
         return packet.size * 8.0 / self.bitrate + self.base_delay
 
+    def transmission_time(self, packet: Packet) -> float:
+        """Airtime of one frame: serialization plus fixed per-frame overhead.
+
+        Public so bounded TX queues (:class:`repro.netsim.node.InterfaceTxQueue`)
+        can hold the interface busy for exactly one frame's airtime; excludes
+        the random propagation jitter, which is drawn per delivery.
+        """
+        return self._tx_time(packet)
+
     def _lost(self, sender_ip: str, receiver_ip: str) -> bool:
         """One loss draw for one transmission attempt on a directed link."""
         if self.channel is not None:

@@ -10,6 +10,7 @@ chains for packet interception.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import TYPE_CHECKING, Callable, Protocol
 
 from repro.errors import PortInUseError
@@ -75,6 +76,129 @@ class _DefaultRoute:
         self.send = send
 
 
+class InterfaceTxQueue:
+    """Bounded per-node wireless TX queue with pluggable drop policies (§5f).
+
+    Opt-in: nodes ship without one and hand frames straight to the medium,
+    which keeps every existing scenario bit-identical. When installed (via
+    :meth:`Node.configure_tx_queue`), the interface transmits at most one
+    frame per airtime slot (``medium.transmission_time``); frames arriving
+    while the interface is busy wait in a bounded FIFO. At capacity the
+    configured policy decides what is shed:
+
+    * ``"tail-drop"`` — the arriving frame is dropped;
+    * ``"oldest-first"`` — the head of the queue is dropped to make room
+      (favors fresh traffic, e.g. retransmitted SIP requests over stale RTP).
+
+    Emits ``queue.enqueue`` / ``queue.drop`` traces, plus one
+    ``queue.high_watermark`` per upward crossing of the watermark (re-armed
+    once the queue drains back below it). Everything is driven by the
+    simulator clock; there is no randomness here.
+    """
+
+    POLICIES = ("tail-drop", "oldest-first")
+
+    def __init__(
+        self,
+        node: "Node",
+        capacity: int,
+        policy: str = "tail-drop",
+        high_watermark: int | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"TX queue capacity must be >= 1, got {capacity}")
+        if policy not in self.POLICIES:
+            raise ValueError(f"unknown TX queue policy {policy!r} (want one of {self.POLICIES})")
+        self.node = node
+        self.sim = node.sim
+        self.capacity = capacity
+        self.policy = policy
+        self.high_watermark = (
+            high_watermark if high_watermark is not None else max(1, (capacity * 3) // 4)
+        )
+        # Capacity is enforced by submit(): a maxlen deque would shed frames
+        # silently, and the drop policy needs to trace what it shed.
+        self._frames: deque = deque()  # lint: disable=OVR001
+        self._busy = False
+        self._above_watermark = False
+        self.enqueued = 0
+        self.dropped = 0
+        self.transmitted = 0
+
+    @property
+    def depth(self) -> int:
+        """Frames currently waiting (excludes the one on the air)."""
+        return len(self._frames)
+
+    def submit(self, next_hop_ip: str | None, packet: Packet, on_link_failure=None) -> None:
+        """Hand one frame to the interface (``next_hop_ip=None`` = broadcast)."""
+        if not self._busy:
+            self._start_transmission(next_hop_ip, packet, on_link_failure)
+            return
+        if len(self._frames) >= self.capacity:
+            if self.policy == "oldest-first":
+                victim = self._frames.popleft()
+                self._shed(victim[1])
+                self._enqueue(next_hop_ip, packet, on_link_failure)
+            else:
+                self._shed(packet)
+            return
+        self._enqueue(next_hop_ip, packet, on_link_failure)
+
+    def clear(self) -> None:
+        """Forget all queued frames (node crash / interface reset)."""
+        self._frames.clear()
+        self._busy = False
+        self._above_watermark = False
+
+    # -- internals ----------------------------------------------------------
+    def _enqueue(self, next_hop_ip: str | None, packet: Packet, on_link_failure) -> None:
+        self._frames.append((next_hop_ip, packet, on_link_failure))
+        self.enqueued += 1
+        self.node.stats.increment("txqueue.enqueued")
+        depth = len(self._frames)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit("queue.enqueue", self.node.ip, uid=packet.uid, depth=depth)
+        if depth >= self.high_watermark and not self._above_watermark:
+            self._above_watermark = True
+            self.node.stats.increment("txqueue.high_watermarks")
+            if tracer is not None:
+                tracer.emit(
+                    "queue.high_watermark", self.node.ip,
+                    depth=depth, capacity=self.capacity,
+                )
+
+    def _shed(self, packet: Packet) -> None:
+        self.dropped += 1
+        self.node.stats.increment("txqueue.drops")
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                "queue.drop", self.node.ip,
+                uid=packet.uid, policy=self.policy, capacity=self.capacity,
+            )
+
+    def _start_transmission(self, next_hop_ip: str | None, packet: Packet, on_link_failure) -> None:
+        medium = self.node.medium
+        if medium is None:
+            return
+        self._busy = True
+        self.transmitted += 1
+        if next_hop_ip is None:
+            medium.broadcast(self.node, packet)
+        else:
+            medium.unicast(self.node, next_hop_ip, packet, on_link_failure)
+        self.sim.schedule(medium.transmission_time(packet), self._drain)
+
+    def _drain(self) -> None:
+        self._busy = False
+        if len(self._frames) < self.high_watermark:
+            self._above_watermark = False
+        if self._frames and self.node.up and self.node.medium is not None:
+            self._start_transmission(*self._frames.popleft())
+
+
 class Node:
     """A host in the simulated network.
 
@@ -99,6 +223,9 @@ class Node:
         self.stats = stats or Stats()
         self.hostname = hostname or (f"node-{node_id}")
         self.medium: "WirelessMedium | None" = None
+        # Optional bounded TX queue (§5f). None = unbounded legacy behavior:
+        # frames go straight to the medium with no serialization queueing.
+        self.tx_queue: InterfaceTxQueue | None = None
         self.router: Router | None = None
         self.hooks = NetfilterHooks()
         self.wired_ip: str | None = None
@@ -129,6 +256,18 @@ class Node:
     def set_router(self, router: Router) -> None:
         self.router = router
 
+    def configure_tx_queue(
+        self,
+        capacity: int | None,
+        policy: str = "tail-drop",
+        high_watermark: int | None = None,
+    ) -> None:
+        """Install a bounded interface TX queue (``capacity=None`` removes it)."""
+        if capacity is None:
+            self.tx_queue = None
+        else:
+            self.tx_queue = InterfaceTxQueue(self, capacity, policy, high_watermark)
+
     # -- failure injection ----------------------------------------------------
     def crash(self) -> None:
         """Abrupt host failure: interfaces stay placed, transport state is lost.
@@ -147,6 +286,8 @@ class Node:
         self._next_ephemeral = EPHEMERAL_PORT_BASE
         self.router = None
         self.hooks = NetfilterHooks()
+        if self.tx_queue is not None:
+            self.tx_queue.clear()
 
     def restart(self) -> None:
         """Power the node back on (empty-state boot; see :meth:`crash`)."""
@@ -232,7 +373,7 @@ class Node:
             return
         if packet.dst == BROADCAST:
             if self.medium is not None:
-                self.medium.broadcast(self, packet)
+                self._wireless_tx(None, packet)
             return
         if self.is_local_address(packet.dst):
             self._deliver(packet)
@@ -271,10 +412,23 @@ class Node:
         """Transmit one wireless hop (used by routing protocols)."""
         if not self.up or self.medium is None:
             return
-        if next_hop_ip == BROADCAST:
-            self.medium.broadcast(self, packet)
-        else:
-            self.medium.unicast(self, next_hop_ip, packet, on_link_failure)
+        hop = None if next_hop_ip == BROADCAST else next_hop_ip
+        self._wireless_tx(hop, packet, on_link_failure)
+
+    def _wireless_tx(
+        self, next_hop_ip: str | None, packet: Packet, on_link_failure=None
+    ) -> None:
+        """Every wireless send funnels through here (``None`` = broadcast)."""
+        if self.medium is None:
+            return
+        queue = self.tx_queue
+        if queue is None:
+            if next_hop_ip is None:
+                self.medium.broadcast(self, packet)
+            else:
+                self.medium.unicast(self, next_hop_ip, packet, on_link_failure)
+            return
+        queue.submit(next_hop_ip, packet, on_link_failure)
 
     # -- receive paths -------------------------------------------------------------
     def receive_wireless(self, packet: Packet, from_ip: str) -> None:

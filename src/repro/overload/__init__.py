@@ -1,0 +1,12 @@
+"""Offered-load soak harness for the §5f overload-control machinery.
+
+The interesting entry points live in :mod:`repro.overload.harness`
+(``run_sweep``, ``run_load_point``) and are deliberately *not* re-exported
+here: the harness imports :mod:`repro.scenarios`, and keeping this package
+namespace import-light mirrors :mod:`repro.faults` so neither package can
+grow an import cycle with the scenario layer. Import as::
+
+    from repro.overload.harness import OverloadConfig, run_sweep
+
+or drive it from the command line: ``python -m repro.overload sweep``.
+"""

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.config import SipAccount
+from repro.core.config import SipAccount, SiphocConfig
 from repro.core.provider import SipProvider
 from repro.core.softphone import SoftPhone
 from repro.core.stack import SiphocStack
@@ -58,6 +58,10 @@ class ManetConfig:
     tracing: bool = False  # attach a repro.trace collector to the simulator
     trace_capacity: int = 65536  # trace ring-buffer size (events)
     faults: FaultPlan | None = None  # timed fault events + optional channel model
+    # -- overload control (§5f; defaults keep every path bit-identical) -------
+    tx_queue_capacity: int | None = None  # bounded per-node TX queue (None = unbounded)
+    tx_queue_policy: str = "tail-drop"  # tail-drop | oldest-first
+    siphoc: SiphocConfig | None = None  # shared per-node stack config (admission etc.)
 
 
 class ManetScenario:
@@ -108,6 +112,8 @@ class ManetScenario:
         for index in range(base.n_nodes):
             node = Node(self.sim, index, manet_ip(index), stats=self.stats)
             node.join_medium(self.medium)
+            if base.tx_queue_capacity is not None:
+                node.configure_tx_queue(base.tx_queue_capacity, base.tx_queue_policy)
             self.nodes.append(node)
         self._place_nodes()
         if self.cloud is not None:
@@ -115,7 +121,7 @@ class ManetScenario:
             for node in self.nodes[-base.internet_gateways :] if base.internet_gateways else []:
                 self.cloud.attach(node)
         self.stacks: list[SiphocStack] = [
-            SiphocStack(node, routing=base.routing, cloud=self.cloud)
+            SiphocStack(node, routing=base.routing, cloud=self.cloud, config=base.siphoc)
             for node in self.nodes
         ]
         self.mobility: RandomWaypointMobility | None = None
@@ -201,7 +207,9 @@ class ManetScenario:
             # Node.crash() wiped the default routes; the wired uplink the
             # cloud attached at build time has to be reinstalled.
             node.set_default_route("wired", self.cloud.send, priority=0)
-        stack = SiphocStack(node, routing=self.config.routing, cloud=self.cloud)
+        stack = SiphocStack(
+            node, routing=self.config.routing, cloud=self.cloud, config=self.config.siphoc
+        )
         self.stacks[index] = stack
         if self._started:
             stack.start()

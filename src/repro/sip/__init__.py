@@ -33,7 +33,13 @@ from repro.sip.pidf import (
     build_pidf,
     parse_pidf,
 )
-from repro.sip.proxy import ProxyCore, ProxyLeg, RouteFn, RoutingContext
+from repro.sip.proxy import (
+    AdmissionControl,
+    ProxyCore,
+    ProxyLeg,
+    RouteFn,
+    RoutingContext,
+)
 from repro.sip.registrar import Binding, LocationService, Registrar
 from repro.sip.sdp import (
     MediaDescription,
@@ -59,6 +65,7 @@ from repro.sip.uri import NameAddr, SipUri
 __all__ = [
     "AVAILABLE",
     "Address",
+    "AdmissionControl",
     "Binding",
     "CSeq",
     "Call",

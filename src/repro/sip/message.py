@@ -284,6 +284,28 @@ class SipMessage:
         return NameAddr.parse(raw) if raw else None
 
     @property
+    def retry_after(self) -> int | None:
+        """Retry-After delay in whole seconds (RFC 3261 20.33), or ``None``.
+
+        Tolerant by design: a missing header, garbage, or a negative value
+        all read as "no usable Retry-After" rather than raising — overload
+        responses come from arbitrary remote stacks. Comments and the
+        ``;duration=...`` parameter are ignored, only the leading
+        delta-seconds matter.
+        """
+        raw = self.headers.get("Retry-After")
+        if raw is None:
+            return None
+        value = raw.split(";", 1)[0].split("(", 1)[0].strip()
+        if not value.isdigit():
+            return None
+        return int(value)
+
+    def set_retry_after(self, seconds: int) -> None:
+        """Set the Retry-After header to a whole number of seconds."""
+        self.headers.set("Retry-After", str(max(0, int(seconds))))
+
+    @property
     def top_via(self) -> Via | None:
         raw = self.headers.get("Via")
         return Via.parse(raw) if raw else None

@@ -17,6 +17,7 @@ double Record-Route so in-dialog requests traverse the correct interfaces.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.netsim.node import Node
@@ -93,13 +94,21 @@ class RoutingContext:
         leg = out_leg or self.proxy.select_leg(destination[0])
         self.proxy._forward_request(self, destination, uri, record_route, leg)
 
-    def respond(self, status: int, reason: str | None = None) -> None:
+    def respond(
+        self,
+        status: int,
+        reason: str | None = None,
+        headers: list[tuple[str, str]] | None = None,
+    ) -> None:
         """Answer the request locally with a final response."""
         if self.decided:
             return
         self.decided = True
         if self.txn is not None:
-            self.txn.send_response(self.request.create_response(status, reason))
+            response = self.request.create_response(status, reason)
+            for name, value in headers or ():
+                response.headers.set(name, value)
+            self.txn.send_response(response)
 
     def drop(self) -> None:
         self.decided = True
@@ -108,6 +117,28 @@ class RoutingContext:
 #: The routing function: inspect ``ctx.request`` and eventually call
 #: ``ctx.forward(...)`` or ``ctx.respond(...)`` (synchronously or later).
 RouteFn = Callable[[RoutingContext], None]
+
+
+@dataclass
+class AdmissionControl:
+    """Overload policy for dialog-initiating requests (DESIGN.md §5f).
+
+    When either watermark is crossed, new INVITE/REGISTER requests are
+    rejected with ``503 Service Unavailable`` + ``Retry-After`` instead of
+    being queued into congestion. In-dialog requests (re-INVITE, BYE, ACK,
+    CANCEL) always pass: admission control must never break an established
+    call. Both watermarks default to off.
+    """
+
+    #: Reject while this many proxied INVITE/REGISTERs await a final
+    #: response (``None`` = don't look at transaction pressure).
+    max_inflight: int | None = None
+    #: Reject while the node's bounded TX queue is at or beyond this
+    #: occupancy fraction (``None`` = don't look at queue depth; ignored
+    #: when the node has no TX queue configured).
+    queue_watermark: float | None = None
+    #: Delta-seconds advertised to rejected clients.
+    retry_after: int = 5
 
 
 class _ProxiedInvite:
@@ -138,6 +169,15 @@ class ProxyCore:
         self.media_filter: Callable[[str, object, ProxyLeg, ProxyLeg], None] | None = None
         self._proxied_invites: dict[str, _ProxiedInvite] = {}
         self.requests_processed = 0
+        #: Overload policy; None (the default) admits everything.
+        self.admission: AdmissionControl | None = None
+        #: Proxied INVITE/REGISTER transactions still awaiting a final
+        #: response — the transaction-pressure gauge for admission control.
+        #: (Raw TransactionLayer counts would do: COMPLETED/ACCEPTED
+        #: transactions linger for 32 s absorbing retransmissions, so a burst
+        #: of *rejections* would keep the proxy wedged at its own watermark.)
+        self.inflight_forwards = 0
+        self.rejected_overload = 0
 
     # -- compatibility accessors for the single-leg common case ------------------
     @property
@@ -205,6 +245,14 @@ class ProxyCore:
         if not self._check_max_forwards(request, txn):
             return
 
+        if (
+            request.method in ("INVITE", "REGISTER")
+            and not self._looks_in_dialog(request)
+            and not request.routes()
+            and self._admission_reject(request, txn)
+        ):
+            return
+
         if request.method == "INVITE" and txn is not None:
             txn.send_response(request.create_response(100))
 
@@ -227,6 +275,46 @@ class ProxyCore:
             self.route_fn(ctx)
             return
         ctx.respond(404)
+
+    def _admission_reject(
+        self, request: SipRequest, txn: ServerTransaction | None
+    ) -> bool:
+        """Shed the request with 503 + Retry-After if a watermark is crossed."""
+        policy = self.admission
+        if policy is None:
+            return False
+        cause = None
+        if (
+            policy.max_inflight is not None
+            and self.inflight_forwards >= policy.max_inflight
+        ):
+            cause = "inflight"
+        elif policy.queue_watermark is not None:
+            queue = self.node.tx_queue
+            if (
+                queue is not None
+                and queue.depth >= policy.queue_watermark * queue.capacity
+            ):
+                cause = "queue_depth"
+        if cause is None:
+            return False
+        self.rejected_overload += 1
+        self.node.stats.increment("sip.admission_rejected")
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                "sip.overload_reject",
+                self.node.ip or self.node.wired_ip or "",
+                method=request.method,
+                cause=cause,
+                inflight=self.inflight_forwards,
+                retry_after=policy.retry_after,
+            )
+        if txn is not None:
+            response = request.create_response(503)
+            response.set_retry_after(policy.retry_after)
+            txn.send_response(response)
+        return True
 
     def _looks_in_dialog(self, request: SipRequest) -> bool:
         """Mid-dialog requests have a To tag (RFC 3261 section 12.2)."""
@@ -301,12 +389,27 @@ class ProxyCore:
         server_txn = ctx.txn
         in_leg = ctx.leg
 
+        # Dialog-initiating forwards count toward the admission-control
+        # gauge until their first final response (or timeout).
+        tracked = request.method in ("INVITE", "REGISTER")
+        if tracked:
+            self.inflight_forwards += 1
+
+        def settle() -> None:
+            nonlocal tracked
+            if tracked:
+                tracked = False
+                self.inflight_forwards -= 1
+
         def on_response(response: SipResponse) -> None:
+            if response.is_final:
+                settle()
             if crossing and self.media_filter is not None:
                 self.media_filter("response", response, in_leg, out_leg)
             self._relay_response(server_txn, response)
 
         def on_timeout() -> None:
+            settle()
             server_txn.send_response(ctx.request.create_response(408))
 
         out_leg.transactions.send_request(forwarded, destination, on_response, on_timeout)

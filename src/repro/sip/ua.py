@@ -56,6 +56,9 @@ class Call:
         self.local_sdp: SessionDescription | None = None
         self.remote_sdp: SessionDescription | None = None
         self.failure_status: int | None = None
+        #: Retry-After seconds from a failure response (e.g. a 503 from an
+        #: overloaded proxy, §5f); None when the response carried none.
+        self.retry_after: int | None = None
         self.created_at = ua.sim.now
         self.established_at: float | None = None
         self.terminated_at: float | None = None
@@ -265,6 +268,7 @@ class OutgoingCall(Call):
             self._set_state(CallState.ESTABLISHED)
             return
         self.failure_status = response.status
+        self.retry_after = response.retry_after
         self._set_state(CallState.FAILED)
 
     def _on_timeout(self) -> None:

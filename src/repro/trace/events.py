@@ -57,10 +57,16 @@ EVENT_KINDS: dict[str, str] = {
     "slp.entry_learned": "piggybacked remote entry entered the cache",
     "slp.resolved": "pending lookup resolved with results",
     "slp.miss": "pending lookup timed out with no results",
+    "slp.advert_suppressed": "re-advertisement withheld by the rate limiter",
+    # queue — bounded interface TX queue lifecycle (opt-in, §5f)
+    "queue.enqueue": "frame queued behind a busy interface (detail.depth)",
+    "queue.drop": "bounded TX queue shed a frame (detail.policy says which)",
+    "queue.high_watermark": "TX queue depth crossed its high watermark",
     # sip — proxy routing decisions, message flow, transaction edges
     "sip.register": "REGISTER accepted by the local SIPHoc proxy",
     "sip.route": "request forwarded (detail.via: manet|internet|local)",
     "sip.route_failed": "no route for request (404 to the caller)",
+    "sip.overload_reject": "proxy shed a new INVITE/REGISTER with 503 (§5f)",
     "sip.msg_tx": "SIP message sent by an endpoint",
     "sip.msg_rx": "SIP message received by an endpoint",
     "sip.txn_state": "transaction state machine edge",
@@ -70,7 +76,7 @@ EVENT_KINDS: dict[str, str] = {
     "tunnel.release": "client released its lease",
     "tunnel.connected": "client brought the tunnel interface up",
     "tunnel.disconnected": "client tore the tunnel interface down",
-    "tunnel.nack": "gateway rejected a frame for an unknown/expired lease",
+    "tunnel.nack": "gateway refused a request (detail.cause: lease|capacity)",
     # gateway — Internet gateway advertisement
     "gateway.up": "gateway provider started and advertised",
     "gateway.down": "gateway provider stopped and withdrew",

@@ -1,0 +1,295 @@
+"""Overload-control unit tests (§5f): admission 503s, seeded retry jitter,
+tunnel lease caps and SLP re-advertisement rate limiting."""
+
+import pytest
+
+from repro.core import ManetSlp, ManetSlpConfig, TunnelClient, TunnelServer, make_handler
+from repro.core.connection import backoff_with_jitter, node_backoff_rng
+from repro.netsim import (
+    InternetCloud,
+    Node,
+    Simulator,
+    Stats,
+    WirelessMedium,
+    manet_ip,
+)
+from repro.routing import Aodv
+from repro.sip import AdmissionControl, CallState, ProxyCore, UserAgent
+from repro.slp.service import SERVICE_SIP_CONTACT
+from tests.conftest import make_chain
+
+
+# ---------------------------------------------------------------------------
+# Proxy admission control
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def triangle(sim, medium):
+    """alice -- proxy -- bob, all in radio range with static routes."""
+    nodes = make_chain(sim, medium, 3, spacing=50.0, static_routes=True)
+    a, p, b = nodes
+    alice = UserAgent(a, "sip:alice@voicehoc.ch", port=5070, outbound_proxy=(p.ip, 5060))
+    bob = UserAgent(b, "sip:bob@voicehoc.ch", port=5070)
+    proxy = ProxyCore(p, port=5060)
+    proxy.route_fn = lambda ctx: ctx.forward((b.ip, 5070))
+    return a, p, b, alice, bob, proxy
+
+
+def advance(sim, dt):
+    sim.run(sim.now + dt)
+
+
+def ring_only(call):
+    call.ring()  # never answers: the INVITE stays inflight at the proxy
+
+
+def auto_answer(sim):
+    def handler(call):
+        call.ring()
+        sim.schedule(0.2, call.answer)
+
+    return handler
+
+
+class TestAdmissionControl:
+    def test_watermark_sheds_with_503_and_retry_after(self, sim, triangle):
+        a, p, b, alice, bob, proxy = triangle
+        proxy.admission = AdmissionControl(max_inflight=1, retry_after=9)
+        bob.on_invite = ring_only
+        alice.call("sip:bob@voicehoc.ch")
+        advance(sim, 1.0)
+        assert proxy.inflight_forwards == 1
+        second = alice.call("sip:bob@voicehoc.ch")
+        advance(sim, 2.0)
+        assert second.state is CallState.FAILED
+        assert second.failure_status == 503
+        assert second.retry_after == 9
+        assert proxy.rejected_overload == 1
+        assert p.stats.count("sip.admission_rejected") == 1
+        # Rejections themselves must not inflate the pressure gauge.
+        assert proxy.inflight_forwards == 1
+
+    def test_gauge_settles_on_final_response(self, sim, triangle):
+        a, p, b, alice, bob, proxy = triangle
+        proxy.admission = AdmissionControl(max_inflight=1)
+        bob.on_invite = auto_answer(sim)
+        first = alice.call("sip:bob@voicehoc.ch")
+        advance(sim, 3.0)
+        assert first.state is CallState.ESTABLISHED
+        assert proxy.inflight_forwards == 0
+        second = alice.call("sip:bob@voicehoc.ch")
+        advance(sim, 3.0)
+        assert second.state is CallState.ESTABLISHED
+        assert proxy.rejected_overload == 0
+
+    def test_established_dialogs_survive_the_watermark(self, sim, triangle):
+        a, p, b, alice, bob, proxy = triangle
+        proxy.admission = AdmissionControl(max_inflight=1)
+        bob.on_invite = auto_answer(sim)
+        first = alice.call("sip:bob@voicehoc.ch")
+        advance(sim, 3.0)
+        assert first.state is CallState.ESTABLISHED
+        bob.on_invite = ring_only
+        alice.call("sip:bob@voicehoc.ch")  # holds the gauge at the watermark
+        advance(sim, 1.0)
+        assert proxy.inflight_forwards == 1
+        # In-dialog traffic (the BYE) passes while new INVITEs would shed.
+        first.hangup()
+        advance(sim, 3.0)
+        assert first.state is CallState.TERMINATED
+
+    def test_queue_depth_watermark_rejects(self, sim, triangle):
+        a, p, b, alice, bob, proxy = triangle
+        p.configure_tx_queue(4)
+        # Occupancy fraction 0.0 means "shed whenever a TX queue exists":
+        # the empty queue (depth 0 >= 0.0 * 4) already trips the watermark.
+        proxy.admission = AdmissionControl(queue_watermark=0.0)
+        bob.on_invite = auto_answer(sim)
+        call = alice.call("sip:bob@voicehoc.ch")
+        advance(sim, 2.0)
+        assert call.failure_status == 503
+
+    def test_queue_watermark_ignored_without_a_queue(self, sim, triangle):
+        a, p, b, alice, bob, proxy = triangle
+        assert p.tx_queue is None
+        proxy.admission = AdmissionControl(queue_watermark=0.0)
+        bob.on_invite = auto_answer(sim)
+        call = alice.call("sip:bob@voicehoc.ch")
+        advance(sim, 3.0)
+        assert call.state is CallState.ESTABLISHED
+
+
+# ---------------------------------------------------------------------------
+# Seeded retry backoff jitter
+# ---------------------------------------------------------------------------
+
+
+class _ZeroRng:
+    def random(self):
+        return 0.0
+
+
+class _MaxRng:
+    def random(self):
+        return 1.0
+
+
+class TestBackoffJitter:
+    def test_same_node_reproducible(self, sim, medium):
+        (a,) = make_chain(sim, medium, 1)
+        first = [node_backoff_rng(a).random() for _ in range(3)]
+        second = [node_backoff_rng(a).random() for _ in range(3)]
+        assert first == second == [node_backoff_rng(a).random() for _ in range(3)]
+
+    def test_same_seed_stable_across_simulations(self):
+        draws = []
+        for _ in range(2):
+            node = Node(Simulator(seed=9), 3, manet_ip(3))
+            rng = node_backoff_rng(node)
+            draws.append([rng.random() for _ in range(4)])
+        assert draws[0] == draws[1]
+
+    def test_different_nodes_desynchronize(self, sim, medium):
+        a, b = make_chain(sim, medium, 2)
+        assert node_backoff_rng(a).random() != node_backoff_rng(b).random()
+
+    def test_salt_separates_streams(self, sim, medium):
+        (a,) = make_chain(sim, medium, 1)
+        assert node_backoff_rng(a, salt=0).random() != node_backoff_rng(a, salt=1).random()
+
+    def test_exponential_shape_without_jitter(self):
+        rng = _ZeroRng()
+        assert backoff_with_jitter(2.0, 1, 60.0, rng) == 2.0
+        assert backoff_with_jitter(2.0, 2, 60.0, rng) == 4.0
+        assert backoff_with_jitter(2.0, 3, 60.0, rng) == 8.0
+
+    def test_cap_applies_before_jitter(self):
+        assert backoff_with_jitter(2.0, 10, 60.0, _ZeroRng()) == 60.0
+        assert backoff_with_jitter(2.0, 10, 60.0, _MaxRng()) == 60.0 * 1.5
+
+    def test_jitter_stretches_at_most_half(self, sim, medium):
+        (a,) = make_chain(sim, medium, 1)
+        rng = node_backoff_rng(a)
+        for failures in range(1, 8):
+            delay = backoff_with_jitter(1.0, failures, 30.0, rng)
+            bare = min(1.0 * 2 ** (failures - 1), 30.0)
+            assert bare <= delay <= bare * 1.5
+
+
+# ---------------------------------------------------------------------------
+# Tunnel lease capacity
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def capped_gateway(sim):
+    """Two MANET clients in a chain behind a gateway with max_leases=1."""
+    stats = Stats()
+    medium = WirelessMedium(sim, stats=stats, tx_range=150.0)
+    c1, c2, gw = make_chain(sim, medium, 3, static_routes=True)
+    cloud = InternetCloud(sim, stats=stats)
+    cloud.attach(gw)
+    server = TunnelServer(gw, cloud, max_leases=1)
+    return stats, c1, c2, gw, server
+
+
+class TestLeaseCapacity:
+    def test_second_client_refused_with_nak(self, sim, capped_gateway):
+        stats, c1, c2, gw, server = capped_gateway
+        outcomes = []
+        TunnelClient(c1, gw.ip).connect(lambda ok: outcomes.append(("c1", ok)))
+        advance(sim, 3.0)
+        TunnelClient(c2, gw.ip).connect(lambda ok: outcomes.append(("c2", ok)))
+        advance(sim, 3.0)
+        assert outcomes == [("c1", True), ("c2", False)]
+        assert len(server.active_leases) == 1
+        assert stats.count("tunnel.leases_rejected") == 1
+
+    def test_renewal_passes_at_capacity(self, sim, capped_gateway):
+        stats, c1, c2, gw, server = capped_gateway
+        client = TunnelClient(c1, gw.ip)
+        client.connect()
+        advance(sim, 3.0)
+        first_expiry = server.active_leases[0].expires_at
+        advance(sim, TunnelClient.RENEW_INTERVAL + 3.0)
+        assert server.active_leases[0].expires_at > first_expiry
+        assert stats.count("tunnel.leases_rejected") == 0
+
+    def test_capacity_frees_on_disconnect(self, sim, capped_gateway):
+        stats, c1, c2, gw, server = capped_gateway
+        first = TunnelClient(c1, gw.ip)
+        first.connect()
+        advance(sim, 3.0)
+        outcomes = []
+        second = TunnelClient(c2, gw.ip)
+        second.connect(outcomes.append)
+        advance(sim, 3.0)
+        assert outcomes == [False]
+        first.disconnect()
+        advance(sim, 2.0)
+        second.connect(outcomes.append)
+        advance(sim, 3.0)
+        assert outcomes == [False, True]
+
+
+# ---------------------------------------------------------------------------
+# SLP re-advertisement rate limiting
+# ---------------------------------------------------------------------------
+
+
+def build_slp(config=None, seed=21):
+    sim = Simulator(seed=seed)
+    stats = Stats()
+    medium = WirelessMedium(sim, stats=stats, tx_range=150.0)
+    node = Node(sim, 0, manet_ip(0), stats=stats)
+    node.join_medium(medium)
+    daemon = Aodv(node)
+    daemon.start()
+    slp = ManetSlp(node, make_handler(daemon), config).start()
+    return sim, stats, node, slp
+
+
+def sip_url(node):
+    return f"service:siphoc-sip://{node.ip}:5060"
+
+
+class TestReadvertiseRateLimit:
+    def test_first_registration_always_advertises(self):
+        sim, stats, node, slp = build_slp(ManetSlpConfig(min_readvertise_interval=30.0))
+        slp.register(sip_url(node), {"user": "sip:a@h"})
+        assert stats.count("manetslp.adverts_suppressed") == 0
+
+    def test_rearm_within_interval_suppressed_but_state_updates(self):
+        sim, stats, node, slp = build_slp(
+            ManetSlpConfig(min_readvertise_interval=30.0, refresh_interval=0)
+        )
+        slp.register(sip_url(node), {"user": "sip:a@h"})
+        slp.register(sip_url(node), {"user": "sip:b@h"})
+        assert stats.count("manetslp.adverts_suppressed") == 1
+        # The local entry still carries the rearmed attributes.
+        hits = slp.lookup_cached(SERVICE_SIP_CONTACT, "(user=sip:b@h)")
+        assert len(hits) == 1
+
+    def test_advertises_again_once_interval_elapses(self):
+        sim, stats, node, slp = build_slp(
+            ManetSlpConfig(min_readvertise_interval=5.0, refresh_interval=0)
+        )
+        slp.register(sip_url(node), {"user": "sip:a@h"})
+        advance(sim, 6.0)
+        slp.register(sip_url(node), {"user": "sip:a@h"})
+        assert stats.count("manetslp.adverts_suppressed") == 0
+
+    def test_default_config_never_suppresses(self):
+        sim, stats, node, slp = build_slp()
+        slp.register(sip_url(node), {"user": "sip:a@h"})
+        slp.register(sip_url(node), {"user": "sip:a@h"})
+        assert stats.count("manetslp.adverts_suppressed") == 0
+
+    def test_periodic_refresh_respects_the_limit(self):
+        sim, stats, node, slp = build_slp(
+            ManetSlpConfig(min_readvertise_interval=30.0, refresh_interval=2.0)
+        )
+        slp.register(sip_url(node), {"user": "sip:a@h"})
+        advance(sim, 7.0)  # several refresh ticks, all inside the interval
+        assert stats.count("manetslp.adverts_suppressed") >= 2

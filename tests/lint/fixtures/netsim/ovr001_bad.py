@@ -1,0 +1,17 @@
+"""OVR001 positives: unbounded queues in an overload-scoped directory."""
+
+import collections
+from collections import deque
+
+
+class Interface:
+    def __init__(self):
+        self.tx_queue = []  # queue-named bare list: unbounded
+        self.retry_backlog = list()  # queue-named list(): unbounded
+        self.frames = deque()  # unbounded deque
+
+
+def build_fifo():
+    packet_fifo: list = []  # annotated queue-named bare list
+    staging = collections.deque()  # unbounded deque via module attribute
+    return packet_fifo, staging

@@ -1,0 +1,18 @@
+"""OVR001 negatives: bounded or justified queues pass."""
+
+from collections import deque
+
+
+class Interface:
+    def __init__(self, capacity):
+        self.tx_queue = deque(maxlen=capacity)  # explicit bound
+        self.history = deque([], 64)  # positional maxlen counts as bounded
+        self.neighbors = []  # not queue-named: plain list is fine
+        # Capacity enforced by the drop policy in submit(), not by maxlen.
+        self.overflow_queue = []  # lint: disable=OVR001
+
+
+def drain(tx_queue):
+    # Reads/iteration over an existing queue are never flagged.
+    while tx_queue:
+        tx_queue.popleft()

@@ -1,0 +1,6 @@
+"""OVR001 is path-scoped: unbounded queues outside netsim/ and core/ pass."""
+
+from collections import deque
+
+event_queue = []
+scratch = deque()

@@ -37,6 +37,9 @@ EXPECTED = {
     "faults/fault001_bad.py": ["DET001", "DET002", "FAULT001", "FAULT001", "FAULT001"],
     "faults/fault001_ok.py": [],
     "fault001_unscoped.py": [],
+    "netsim/ovr001_bad.py": ["OVR001"] * 5,
+    "netsim/ovr001_ok.py": [],
+    "ovr001_unscoped.py": [],
     "suppressed.py": ["DET001"],
 }
 

@@ -281,3 +281,50 @@ class TestCreateResponse:
     def test_default_reason_phrases(self):
         assert self.make_invite().create_response(404).reason == "Not Found"
         assert self.make_invite().create_response(486).reason == "Busy Here"
+
+
+class TestRetryAfter:
+    """Retry-After accessors (§5f): tolerant reads, clamped writes."""
+
+    @pytest.mark.parametrize(
+        ("raw", "expected"),
+        [
+            (None, None),  # header absent entirely
+            ("5", 5),
+            ("0", 0),
+            ("120", 120),
+            ("  18  ", 18),
+            ("5;duration=30", 5),
+            ("3 (call back later)", 3),
+            ("7 (be patient);duration=60", 7),
+            ("", None),
+            ("soon", None),
+            ("-4", None),  # negative delta-seconds is not a usable delay
+            ("5.5", None),
+            ("(only a comment)", None),
+            (";duration=30", None),
+        ],
+    )
+    def test_read_is_tolerant(self, raw, expected):
+        response = SipResponse(503)
+        if raw is not None:
+            response.headers.set("Retry-After", raw)
+        assert response.retry_after == expected
+
+    @pytest.mark.parametrize(
+        ("seconds", "wire"),
+        [(5, "5"), (0, "0"), (-3, "0"), (7200, "7200")],
+    )
+    def test_write_clamps_and_round_trips(self, seconds, wire):
+        response = SipResponse(503, "Service Unavailable")
+        response.headers.add("Via", "SIP/2.0/UDP h;branch=z9hG4bK-ra")
+        response.set_retry_after(seconds)
+        assert response.headers.get("Retry-After") == wire
+        reparsed = parse_message(response.serialize())
+        assert reparsed.retry_after == int(wire)
+
+    def test_requests_read_retry_after_too(self):
+        request = parse_message(INVITE_WIRE)
+        assert request.retry_after is None
+        request.headers.set("Retry-After", "11")
+        assert parse_message(request.serialize()).retry_after == 11

@@ -15,6 +15,7 @@ class TestTaxonomy:
         assert list(CATEGORIES) == sorted(CATEGORIES)
         assert {
             "packet",
+            "queue",
             "aodv",
             "olsr",
             "slp",

@@ -19,6 +19,9 @@ python -m repro.trace smoke
 echo "== repro.faults smoke (chaos recovery + deterministic schedules) =="
 python -m repro.faults smoke
 
+echo "== repro.overload smoke (graceful shedding + byte-identical reruns) =="
+python -m repro.overload smoke
+
 echo "== ruff check =="
 if command -v ruff >/dev/null 2>&1; then
     ruff check src/
