@@ -3,10 +3,13 @@
 
 Writes ``BENCH_<YYYY-MM-DD>.json`` (pytest-benchmark's machine-readable
 format) into the repository root so successive PRs leave a perf trajectory
-to diff against::
+to diff against. The JSON is compact by default — aggregate stats only;
+pass ``--benchmark-save-data`` to keep every per-round timing (tail
+percentiles at the cost of a multi-megabyte file)::
 
     python benchmarks/run_bench.py                 # micro-benchmarks (fast)
     python benchmarks/run_bench.py --all           # every benchmark file
+    python benchmarks/run_bench.py --benchmark-save-data
     python benchmarks/run_bench.py -o my.json -- -k broadcast
 
 Arguments after ``--`` are forwarded to pytest verbatim.
@@ -27,9 +30,12 @@ REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
 def print_percentile_table(output: str) -> None:
     """Summarize the benchmark JSON: mean/p50/p95/p99/stddev per benchmark.
 
-    Per-round timings are in ``benchmarks[*].stats.data`` (present because
-    we pass ``--benchmark-save-data``); percentiles come from the same
-    :class:`repro.netsim.stats.SampleSeries` the simulator uses.
+    Per-round timings in ``benchmarks[*].stats.data`` feed the same
+    :class:`repro.netsim.stats.SampleSeries` the simulator uses; the table
+    is printed *before* :func:`strip_round_data` runs, so the tail
+    percentiles are exact even when the JSON on disk ends up compact. On a
+    file already stripped (re-running against an old compact BENCH),
+    p95/p99 — which need the raw rounds — print as ``-``.
     """
     sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
     from repro.netsim.stats import SampleSeries
@@ -48,15 +54,41 @@ def print_percentile_table(output: str) -> None:
     print(header)
     print("-" * len(header))
     for bench in benchmarks:
-        series = SampleSeries(list(bench["stats"].get("data") or []))
-        if not series.values:
+        stats = bench["stats"]
+        series = SampleSeries(list(stats.get("data") or []))
+        if series.values:
+            rounds, mean = series.count, series.mean
+            p50, p95, p99 = (series.percentile(p) for p in (50, 95, 99))
+            stddev = series.stddev
+        elif stats.get("rounds"):
+            rounds, mean = stats["rounds"], stats["mean"]
+            p50, stddev = stats["median"], stats["stddev"]
+            p95 = p99 = None
+        else:
             continue
-        print(
-            f"{bench['name']:<{name_width}}  {series.count:>6}  "
-            f"{series.mean:>10.6f}  {series.percentile(50):>10.6f}  "
-            f"{series.percentile(95):>10.6f}  {series.percentile(99):>10.6f}  "
-            f"{series.stddev:>10.6f}"
+        tail = "  ".join(
+            f"{value:>10.6f}" if value is not None else f"{'-':>10}"
+            for value in (mean, p50, p95, p99, stddev)
         )
+        print(f"{bench['name']:<{name_width}}  {rounds:>6}  {tail}")
+
+
+def strip_round_data(output: str) -> None:
+    """Drop per-round timings from the JSON, keeping every aggregate.
+
+    pytest-benchmark embeds the raw rounds in ``--benchmark-json`` output
+    unconditionally — tens of thousands of floats per benchmark, ~10MB per
+    snapshot. The trend the BENCH files exist for (cross-PR mean/median/ops
+    diffs) only needs the aggregates, so the compact form is the default
+    and ``--benchmark-save-data`` opts back into the full dump.
+    """
+    with open(output, encoding="utf-8") as fh:
+        report = json.load(fh)
+    for bench in report.get("benchmarks", []):
+        bench["stats"].pop("data", None)
+    with open(output, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -71,6 +103,13 @@ def main(argv: list[str] | None = None) -> int:
         "--output",
         default=None,
         help="output JSON path (default: BENCH_<date>.json in the repo root)",
+    )
+    parser.add_argument(
+        "--benchmark-save-data",
+        action="store_true",
+        dest="save_data",
+        help="include per-round timings in the JSON (full percentiles in the "
+        "summary table, but the file grows from ~100KB to several MB)",
     )
     args, passthrough = parser.parse_known_args(argv)
     if passthrough and passthrough[0] == "--":
@@ -87,10 +126,11 @@ def main(argv: list[str] | None = None) -> int:
         target,
         "--benchmark-only",
         f"--benchmark-json={output}",
-        "--benchmark-save-data",
         "-q",
         *passthrough,
     ]
+    if args.save_data:
+        command.insert(command.index("-q"), "--benchmark-save-data")
     env = dict(os.environ)
     src = os.path.join(REPO_ROOT, "src")
     env["PYTHONPATH"] = src + (
@@ -100,7 +140,10 @@ def main(argv: list[str] | None = None) -> int:
     result = subprocess.run(command, cwd=REPO_ROOT, env=env)
     if result.returncode == 0:
         print_percentile_table(output)
-        print(f"benchmark JSON written to {output}")
+        if not args.save_data:
+            strip_round_data(output)
+        size_kb = os.path.getsize(output) / 1024.0
+        print(f"benchmark JSON written to {output} ({size_kb:.0f} KB)")
     return result.returncode
 
 

@@ -21,6 +21,7 @@ T1        :func:`interop_table`                        section 3.2 providers
 F6        :func:`footprint_table`                      section 4 deployment
 A1        :func:`ablation_discovery_table`             discovery scheme ablation
 A2        :func:`cache_ablation_table`                 advert lifetime ablation
+C1        :func:`city_table`                           5k-node city (ROADMAP)
 ========  ==========================================  =============================
 """
 
@@ -29,6 +30,11 @@ from repro.experiments.calls import (
     scalability_table,
     setup_delay_table,
     voice_quality_table,
+)
+from repro.experiments.city import (
+    build_city_scenario,
+    city_table,
+    run_city_workload,
 )
 from repro.experiments.convergence import cache_ablation_table, convergence_table
 from repro.experiments.discovery import (
@@ -48,14 +54,17 @@ __all__ = [
     "SCHEMES",
     "Table",
     "ablation_discovery_table",
+    "build_city_scenario",
     "cache_ablation_table",
     "call_flow_table",
+    "city_table",
     "convergence_table",
     "footprint_table",
     "gateway_table",
     "interop_table",
     "module_inventory_table",
     "overhead_vs_nodes_table",
+    "run_city_workload",
     "run_discovery_workload",
     "scalability_table",
     "services_table",

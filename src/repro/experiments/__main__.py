@@ -19,6 +19,7 @@ from repro.experiments import (
     services_table,
     cache_ablation_table,
     call_flow_table,
+    city_table,
     convergence_table,
     footprint_table,
     gateway_table,
@@ -88,6 +89,12 @@ ARTIFACTS = {
         dict(hop_counts=(1, 2)),
         dict(hop_counts=(1, 2, 4)),
         services_table,
+    ),
+    "C1": (
+        "city-scale MANET call load (5k nodes with --full)",
+        dict(node_counts=(300,), n_calls=6, drain=15.0),
+        dict(node_counts=(1000, 5000), n_calls=24),
+        city_table,
     ),
     "INV": ("library inventory", {}, {}, module_inventory_table),
 }

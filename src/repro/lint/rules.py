@@ -610,6 +610,61 @@ class UnboundedQueueRule(Rule):
 
 
 # ---------------------------------------------------------------------------
+# PERF001 — direct heapq use outside the event-kernel module
+# ---------------------------------------------------------------------------
+
+
+class _HeapqUseVisitor(RuleVisitor):
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "heapq" or alias.name.startswith("heapq."):
+                self.report(
+                    node,
+                    "direct 'import heapq': event ordering must go through "
+                    "the kernel abstraction (Simulator.schedule* / "
+                    "repro.netsim.kernel), not a private heap",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "heapq":
+            self.report(
+                node,
+                "direct 'from heapq import ...': event ordering must go "
+                "through the kernel abstraction (Simulator.schedule* / "
+                "repro.netsim.kernel), not a private heap",
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = self.ctx.resolve_dotted(node.func)
+        if name is not None and name.startswith("heapq."):
+            self.report(
+                node,
+                f"direct {name}(): event ordering must go through the "
+                "kernel abstraction, not a private heap",
+            )
+        self.generic_visit(node)
+
+
+class HeapqUseRule(Rule):
+    id = "PERF001"
+    title = "no direct heapq use outside repro/netsim/kernel.py"
+    rationale = (
+        "The pluggable event kernel (calendar queue vs. reference heap) is "
+        "the single owner of pending-event ordering; a side heap of timers "
+        "bypasses cancellation accounting, parity gates and the O(1) "
+        "diagnostics (pending_events/queue_size), and its pop order is "
+        "invisible to the cross-kernel determinism contract."
+    )
+    visitor_class = _HeapqUseVisitor
+
+    def applies_to(self, path: Path) -> bool:
+        parts = path.parts
+        return not (len(parts) >= 2 and parts[-2:] == ("netsim", "kernel.py"))
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -622,6 +677,7 @@ ALL_RULES: tuple[Rule, ...] = (
     TimeEqualityRule(),
     FaultScheduleRule(),
     UnboundedQueueRule(),
+    HeapqUseRule(),
 )
 
 _RULES_BY_ID = {rule.id: rule for rule in ALL_RULES}

@@ -1,0 +1,95 @@
+"""netsim CLI: cross-kernel schedule-parity probe for ``tools/check.sh``.
+
+Usage::
+
+    python -m repro.netsim kernel-trace --kernel calendar --out cal.jsonl
+    python -m repro.netsim kernel-trace --kernel heap --out heap.jsonl
+    cmp cal.jsonl heap.jsonl
+
+Runs one fixed seeded scenario — random mobile topology, lossy medium,
+tracing on, a full SIP call — under the chosen event kernel, then writes
+the byte-exact trace export followed by one ``summary`` line (Stats
+summary + event counts, canonical JSON). The check.sh gate runs this once
+per kernel in *fresh interpreters* (so the process-global identifier
+counters start equal, no ``reset_global_ids`` needed) and byte-compares
+the two files: any schedule divergence between ``CalendarKernel`` and the
+reference ``HeapKernel`` surfaces as a one-line ``cmp`` diff. The kernel
+name itself is deliberately absent from the output — equal inputs must
+produce equal bytes.
+
+The in-process, fault-injecting variant of this gate lives in
+``tests/netsim/test_kernel_parity.py``; this entry point exists so the
+parity contract is also enforced outside pytest, subprocess-fresh, the
+same way ``repro.overload smoke`` proves byte-identical reruns.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _cmd_kernel_trace(args: argparse.Namespace) -> int:
+    from repro.scenarios import ManetConfig, ManetScenario
+
+    scenario = ManetScenario(
+        ManetConfig(
+            n_nodes=16,
+            topology="random",
+            routing="aodv",
+            seed=7,
+            tx_range=250.0,
+            area=(600.0, 600.0),
+            loss_rate=0.05,
+            mobility=True,
+            tracing=True,
+            kernel=args.kernel,
+        )
+    )
+    scenario.start()
+    scenario.add_phone(0, "alice")
+    scenario.add_phone(15, "bob")
+    scenario.converge()
+    scenario.phones["alice"].place_call("sip:bob@voicehoc.ch", duration=5.0)
+    scenario.sim.run(scenario.sim.now + 12.0)
+    scenario.stop()
+    assert scenario.trace is not None
+    summary = json.dumps(
+        {
+            "summary": scenario.stats.summary(),
+            "events_processed": scenario.sim.events_processed,
+            "pending_events": scenario.sim.pending_events,
+        },
+        sort_keys=True,
+    )
+    with open(args.out, "w", encoding="utf-8") as fh:
+        fh.write(scenario.trace.export_jsonl())
+        fh.write(summary + "\n")
+    print(f"kernel-trace: wrote {args.out} ({scenario.sim.events_processed} events)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.netsim",
+        description=__doc__.splitlines()[0],
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_kt = sub.add_parser(
+        "kernel-trace",
+        help="run the fixed parity scenario under one kernel, write its trace",
+    )
+    p_kt.add_argument("--kernel", choices=("heap", "calendar"), required=True)
+    p_kt.add_argument("--out", required=True, help="output JSONL path")
+    p_kt.set_defaults(fn=_cmd_kernel_trace)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -66,6 +66,7 @@ class WirelessMedium:
         energy: EnergyModel | None = None,
         use_spatial_index: bool = True,
         channel: ChannelModel | None = None,
+        batch_delivery: bool = True,
     ) -> None:
         self.sim = sim
         self.stats = stats or Stats()
@@ -78,6 +79,7 @@ class WirelessMedium:
         self.channel = channel
         self.mac_retries = mac_retries
         self.use_spatial_index = use_spatial_index
+        self.batch_delivery = batch_delivery
         self._nodes: list["Node"] = []
         self._by_ip: dict[str, "Node"] = {}
         self._sniffers: list[SnifferFn] = []
@@ -285,49 +287,82 @@ class WirelessMedium:
         """Transmit one link-layer broadcast frame from ``sender``.
 
         Each in-range neighbor independently receives (or loses) the frame.
+
+        Draw-order contract (identical on both delivery paths): neighbors are
+        visited in membership order; for each non-partitioned neighbor one
+        loss draw is made, and for each surviving neighbor one jitter draw —
+        all from the simulator RNG, interleaved exactly as written here. With
+        ``batch_delivery`` the surviving receptions are then scheduled as one
+        kernel train via :meth:`Simulator.schedule_batch`, which reserves
+        sequence numbers in collection order — the same numbers a per-neighbor
+        ``schedule`` loop would assign — so traces, Stats, and every
+        downstream RNG draw are bit-identical between the two paths.
         """
         self.stats.record_transmission(packet.dport, packet.size)
+        sender_ip = sender.ip
         tracer = self.sim.tracer
         if tracer is not None:
             tracer.emit(
                 "packet.tx",
-                sender.ip,
+                sender_ip,
                 uid=packet.uid,
                 dst=packet.dst,
                 dport=packet.dport,
                 size=packet.size,
                 mode="broadcast",
             )
-        if self.energy is not None:
-            self.energy.on_send(sender, packet)
+        energy = self.energy
+        if energy is not None:
+            energy.on_send(sender, packet)
         tx_time = self._tx_time(packet)
-        delivered_any = False
+        # One pass draws loss + jitter for every neighbor; receptions are
+        # collected and handed to the kernel in a single batched call.
+        deliveries: list[tuple[float, Callable[..., None], tuple]] = []
+        append = deliveries.append
+        partitions = self._partitions
+        channel = self.channel
+        loss_rate = self.loss_rate
+        rng = self.sim.rng
+        rng_random = rng.random
+        rng_uniform = rng.uniform
+        jitter = self.jitter
+        cb_args = (packet, sender_ip)
         for neighbor in self.neighbors(sender):
-            if self._partitions and self.link_blocked(sender.ip, neighbor.ip):
+            if partitions and self.link_blocked(sender_ip, neighbor.ip):
                 if tracer is not None:
                     tracer.emit(
                         "packet.drop",
-                        sender.ip,
+                        sender_ip,
                         uid=packet.uid,
                         cause="partition",
                         peer=neighbor.ip,
                     )
                 continue
-            if self._lost(sender.ip, neighbor.ip):
+            if (
+                channel.should_drop(sender_ip, neighbor.ip, rng)
+                if channel is not None
+                else loss_rate > 0 and rng_random() < loss_rate
+            ):
                 if tracer is not None:
                     tracer.emit(
                         "packet.drop",
-                        sender.ip,
+                        sender_ip,
                         uid=packet.uid,
                         cause="loss",
                         peer=neighbor.ip,
                     )
                 continue
-            delivered_any = True
-            if self.energy is not None:
-                self.energy.on_receive_broadcast(neighbor, packet)
-            delay = tx_time + self.sim.rng.uniform(0, self.jitter)
-            self.sim.schedule(delay, neighbor.receive_wireless, packet, sender.ip)
+            if energy is not None:
+                energy.on_receive_broadcast(neighbor, packet)
+            append((tx_time + rng_uniform(0, jitter), neighbor.receive_wireless, cb_args))
+        delivered_any = bool(deliveries)
+        if deliveries:
+            if self.batch_delivery:
+                self.sim.schedule_batch(deliveries)
+            else:
+                schedule = self.sim.schedule
+                for delay, receive, args in deliveries:
+                    schedule(delay, receive, *args)
         self._notify_sniffers(
             CapturedFrame(
                 time=self.sim.now,

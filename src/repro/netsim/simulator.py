@@ -4,58 +4,27 @@ The simulator is single-threaded and fully deterministic: events fire in
 (time, sequence) order and all randomness flows from one seeded
 ``random.Random`` instance owned by the simulator. All higher layers (radio
 medium, routing daemons, SIP timers, RTP schedules) are driven by this clock.
+
+The pending-event structure is pluggable (see :mod:`repro.netsim.kernel`):
+``Simulator(kernel="calendar")`` — the default — uses the O(1)-amortized
+calendar queue; ``kernel="heap"`` selects the reference binary heap. Both
+kernels pop in identical ``(time, seq)`` order, so a seeded run is
+bit-identical under either; the heap stays selectable as the parity
+reference exactly as the brute-force neighbor scan does for the spatial
+index. Hot entry points (``schedule``, ``schedule_at``, ``schedule_batch``)
+are bound straight to the kernel as instance attributes, skipping a
+delegation frame on the busiest calls in the system.
 """
 
 from __future__ import annotations
 
-import heapq
 import random
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import SimulationError
+from repro.netsim.kernel import EventHandle, make_kernel
 
-
-@dataclass(order=True)
-class _ScheduledEvent:
-    time: float
-    seq: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple[Any, ...] = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
-    popped: bool = field(compare=False, default=False)
-
-
-class EventHandle:
-    """Cancellable handle returned by :meth:`Simulator.schedule`."""
-
-    __slots__ = ("_event", "_sim")
-
-    def __init__(self, event: _ScheduledEvent, sim: "Simulator") -> None:
-        self._event = event
-        self._sim = sim
-
-    @property
-    def time(self) -> float:
-        return self._event.time
-
-    @property
-    def cancelled(self) -> bool:
-        return self._event.cancelled
-
-    @property
-    def done(self) -> bool:
-        """True once the event can never fire again (fired or cancelled)."""
-        return self._event.cancelled or self._event.popped
-
-    def cancel(self) -> None:
-        """Prevent the event from firing. Safe to call more than once."""
-        event = self._event
-        if event.cancelled:
-            return
-        event.cancelled = True
-        if not event.popped:
-            self._sim._on_cancelled_in_queue()
+__all__ = ["EventHandle", "PeriodicTask", "Simulator"]
 
 
 class PeriodicTask:
@@ -106,93 +75,60 @@ class PeriodicTask:
 class Simulator:
     """Deterministic discrete-event simulator with a virtual clock in seconds.
 
-    Cancelled events are left in the heap as tombstones (removing an
-    arbitrary heap entry is O(N)); a live-event counter keeps
-    :attr:`pending_events` O(1), and the heap is lazily compacted whenever
-    tombstones outnumber live events, so long runs with heavy timer churn
-    (SIP transaction timers are scheduled and cancelled constantly) stay
-    bounded in memory. Compaction never changes the (time, seq) pop order,
-    so it is invisible to the simulation.
+    Cancelled events either vanish immediately (calendar-queue tail pop) or
+    remain as tombstones swept by hysteresis-bounded lazy compaction; a
+    live-event counter keeps :attr:`pending_events` O(1) either way, so long
+    runs with heavy timer churn (SIP transaction timers are scheduled and
+    cancelled constantly) stay bounded in memory. Neither mechanism ever
+    changes the (time, seq) pop order, so both are invisible to the
+    simulation.
     """
 
-    #: Don't bother compacting heaps smaller than this.
+    #: Compaction hysteresis floor (see kernel COMPACT_MIN); kept here for
+    #: backward compatibility with callers sizing queue-hygiene assertions.
     COMPACT_MIN_QUEUE = 64
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, kernel: str = "calendar") -> None:
         self.rng = random.Random(seed)
         self.seed = seed
-        self._now = 0.0
-        self._seq = 0
-        self._queue: list[_ScheduledEvent] = []
-        self._events_processed = 0
-        self._live = 0  # non-cancelled events currently in the queue
-        self._tombstones = 0  # cancelled events still in the queue
-        self._compactions = 0
+        self._kernel = make_kernel(kernel)
+        # Bind the hot scheduling entry points directly to the kernel: one
+        # attribute load instead of a Python delegation frame per event.
+        self.schedule = self._kernel.schedule
+        self.schedule_at = self._kernel.schedule_at
+        self.schedule_batch = self._kernel.schedule_batch
         # Optional repro.trace.TraceCollector; None means tracing is off and
         # emission sites pay only this attribute read plus a None check.
         self.tracer = None
 
     @property
+    def kernel(self) -> str:
+        """Name of the active event kernel (``"calendar"`` or ``"heap"``)."""
+        return self._kernel.name
+
+    @property
     def now(self) -> float:
         """Current virtual time in seconds."""
-        return self._now
+        return self._kernel.now
 
     @property
     def events_processed(self) -> int:
-        return self._events_processed
+        return self._kernel.processed
 
     @property
     def pending_events(self) -> int:
         """Number of live (non-cancelled) scheduled events. O(1)."""
-        return self._live
+        return self._kernel.live
 
     @property
     def queue_size(self) -> int:
-        """Heap entries including cancelled tombstones (memory diagnostics)."""
-        return len(self._queue)
+        """Pending-structure entries including tombstones (memory diagnostics)."""
+        return self._kernel.size
 
     @property
     def compactions(self) -> int:
-        """How many times the heap has been rebuilt to drop tombstones."""
-        return self._compactions
-
-    def _on_cancelled_in_queue(self) -> None:
-        self._live -= 1
-        self._tombstones += 1
-        if (
-            len(self._queue) >= self.COMPACT_MIN_QUEUE
-            and self._tombstones * 2 > len(self._queue)
-        ):
-            self._compact()
-
-    def _compact(self) -> None:
-        """Rebuild the heap without tombstones; pop order is unchanged."""
-        self._queue = [event for event in self._queue if not event.cancelled]
-        heapq.heapify(self._queue)
-        self._tombstones = 0
-        self._compactions += 1
-
-    def schedule(
-        self, delay: float, callback: Callable[..., None], *args: Any
-    ) -> EventHandle:
-        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
-        if delay < 0:
-            raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, *args)
-
-    def schedule_at(
-        self, time: float, callback: Callable[..., None], *args: Any
-    ) -> EventHandle:
-        """Schedule ``callback(*args)`` at absolute virtual time ``time``."""
-        if time < self._now:
-            raise SimulationError(
-                f"cannot schedule at {time:.6f}, clock is already at {self._now:.6f}"
-            )
-        self._seq += 1
-        event = _ScheduledEvent(time=time, seq=self._seq, callback=callback, args=args)
-        heapq.heappush(self._queue, event)
-        self._live += 1
-        return EventHandle(event, self)
+        """How many times the kernel has swept tombstones from its structure."""
+        return self._kernel.compactions
 
     def schedule_periodic(
         self,
@@ -218,21 +154,13 @@ class Simulator:
         The clock always ends exactly at ``until`` even if the queue drains
         early, so repeated ``run`` calls compose predictably.
         """
-        if until < self._now:
+        kernel = self._kernel
+        if until < kernel.now:
             raise SimulationError(
-                f"cannot run until {until:.6f}, clock is already at {self._now:.6f}"
+                f"cannot run until {until:.6f}, clock is already at {kernel.now:.6f}"
             )
-        while self._queue and self._queue[0].time <= until:
-            event = heapq.heappop(self._queue)
-            event.popped = True
-            if event.cancelled:
-                self._tombstones -= 1
-                continue
-            self._live -= 1
-            self._now = event.time
-            self._events_processed += 1
-            event.callback(*event.args)
-        self._now = until
+        kernel.run(until)
+        kernel.now = until
 
     def run_until_idle(self, max_time: float = 3600.0) -> None:
         """Process events until the queue drains or ``max_time`` is reached.
@@ -240,16 +168,7 @@ class Simulator:
         Useful in tests; periodic tasks never drain, so most scenarios should
         prefer :meth:`run`.
         """
-        while self._queue and self._queue[0].time <= max_time:
-            event = heapq.heappop(self._queue)
-            event.popped = True
-            if event.cancelled:
-                self._tombstones -= 1
-                continue
-            self._live -= 1
-            self._now = event.time
-            self._events_processed += 1
-            event.callback(*event.args)
+        self._kernel.run(max_time)
 
     def run_until(
         self,
@@ -262,9 +181,35 @@ class Simulator:
         Returns ``True`` if the predicate became true before ``timeout``
         (absolute deadline of ``now + timeout``), ``False`` otherwise.
         """
-        deadline = self._now + timeout
-        while self._now < deadline:
+        deadline = self._kernel.now + timeout
+        while self._kernel.now < deadline:
             if predicate():
                 return True
-            self.run(min(self._now + step, deadline))
+            self.run(min(self._kernel.now + step, deadline))
         return predicate()
+
+    # -- scheduling ---------------------------------------------------------
+    # These class-level definitions document the API and keep
+    # ``Simulator.schedule`` resolvable through the class; instances shadow
+    # them in __init__ with the kernel's bound methods (one attribute load
+    # instead of a delegation frame on the hottest calls in the system).
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        return self._kernel.schedule(delay, callback, *args)
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute virtual time ``time``."""
+        return self._kernel.schedule_at(time, callback, *args)
+
+    def schedule_batch(self, entries: list[tuple]) -> int:
+        """Schedule many ``(delay, callback, args)`` deliveries as one train.
+
+        Sequence numbers are reserved in input order, so the pop order (and
+        every downstream RNG draw) is identical to scheduling each entry
+        individually — see :meth:`repro.netsim.kernel._KernelBase.schedule_batch`.
+        """
+        return self._kernel.schedule_batch(entries)

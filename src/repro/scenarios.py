@@ -49,10 +49,17 @@ class ManetConfig:
     loss_rate: float = 0.0
     mac_retries: int = 3  # 802.11-style link-layer retransmissions
     spatial_index: bool = True  # False = brute-force O(N) neighbor scans (parity mode)
+    kernel: str = "calendar"  # event kernel: calendar (fast path) | heap (parity ref)
+    batch_delivery: bool = True  # False = per-neighbor schedule calls (parity mode)
     mobility: bool = False
     mobility_speed: tuple[float, float] = (0.5, 2.0)
     mobility_pause: float = 5.0
     internet_gateways: int = 0  # how many nodes get wired attachments
+    # Run the per-node Connection Provider (gateway discovery). Without any
+    # Internet attachment its periodic SLP lookups can never succeed, yet each
+    # one floods the whole MANET — O(N^2) receptions per poll round. Large
+    # MANET-only scenarios (the 5k-node city) turn it off.
+    connection_provider: bool = True
     providers: tuple[str, ...] = ()
     strict_providers: tuple[str, ...] = ()  # providers mandating an SBC
     tracing: bool = False  # attach a repro.trace collector to the simulator
@@ -74,7 +81,7 @@ class ManetScenario:
                 raise ConfigError(f"unknown scenario parameter {key!r}")
             setattr(base, key, value)
         self.config = base
-        self.sim = Simulator(seed=base.seed)
+        self.sim = Simulator(seed=base.seed, kernel=base.kernel)
         self.stats = Stats()
         # Tracing attaches before any stack is built so construction-time
         # events (gateway.up, slp.advertise, ...) are captured too. The
@@ -94,6 +101,7 @@ class ManetScenario:
             loss_rate=base.loss_rate,
             mac_retries=base.mac_retries,
             use_spatial_index=base.spatial_index,
+            batch_delivery=base.batch_delivery,
         )
         if base.faults is not None and base.faults.channel is not None:
             self.medium.channel = base.faults.channel
@@ -121,7 +129,13 @@ class ManetScenario:
             for node in self.nodes[-base.internet_gateways :] if base.internet_gateways else []:
                 self.cloud.attach(node)
         self.stacks: list[SiphocStack] = [
-            SiphocStack(node, routing=base.routing, cloud=self.cloud, config=base.siphoc)
+            SiphocStack(
+                node,
+                routing=base.routing,
+                cloud=self.cloud,
+                config=base.siphoc,
+                run_connection_provider=base.connection_provider,
+            )
             for node in self.nodes
         ]
         self.mobility: RandomWaypointMobility | None = None
@@ -286,6 +300,34 @@ class ManetScenario:
     def hop_count(self, from_index: int, to_index: int) -> int | None:
         routing = self.stacks[from_index].routing
         return routing.hop_count_to(self.nodes[to_index].ip)
+
+
+def reset_global_ids() -> None:
+    """Restart every process-global identifier counter.
+
+    Call-ids, tags, nonces, Via branches, RTP ports, SSRCs and packet uids
+    only need process-lifetime uniqueness, so they come from module-global
+    counters — which makes two same-seed scenarios built in one process
+    differ in their identifiers (and therefore in trace exports) even though
+    schedules and Stats match. Parity harnesses that byte-compare traces
+    across in-process runs call this between runs. Never call it while any
+    scenario is live: colliding identifiers would corrupt dialogs mid-flight.
+    """
+    import itertools
+
+    from repro.netsim import packet as _packet
+    from repro.rtp import session as _rtp_session
+    from repro.sip import auth as _auth
+    from repro.sip import dialog as _dialog
+    from repro.sip import transport as _transport
+    from repro.sip import ua as _ua
+
+    _dialog.reset_ids()
+    _auth._nonce_counter = itertools.count(1)
+    _transport._branch_counter = itertools.count(1)
+    _ua._rtp_ports = itertools.count(0)
+    _rtp_session._ssrc_counter = itertools.count(0x1000)
+    _packet._packet_ids = itertools.count(1)
 
 
 def build_chain_call_scenario(

@@ -27,6 +27,20 @@ def new_call_id(host: str) -> str:
     return f"cid{next(_call_id_counter):08x}@{host}"
 
 
+def reset_ids() -> None:
+    """Restart the process-global tag/call-id counters.
+
+    Tags and call-ids only need process-lifetime uniqueness, so the counters
+    are module-global — which makes two same-seed scenarios in one process
+    differ in their SIP identifiers. Parity harnesses that byte-compare trace
+    exports across in-process runs call this between runs; simulations never
+    should (colliding call-ids across live scenarios would corrupt dialogs).
+    """
+    global _tag_counter, _call_id_counter
+    _tag_counter = itertools.count(1)
+    _call_id_counter = itertools.count(1)
+
+
 DialogKey = tuple[str, str, str]
 
 

@@ -1,0 +1,7 @@
+"""PERF001 exemption: the event kernel is the one owner of the heap."""
+
+import heapq
+
+pending: list[tuple[float, int]] = []
+
+heapq.heappush(pending, (0.5, 1))

@@ -1,0 +1,9 @@
+"""PERF001 positives: a private timer heap bypassing the event kernel."""
+
+import heapq
+from heapq import heappush
+
+timers: list[tuple[float, int]] = []
+
+heapq.heappush(timers, (1.0, 1))
+heappush(timers, (2.0, 2))

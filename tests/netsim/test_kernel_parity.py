@@ -1,0 +1,93 @@
+"""Cross-kernel same-seed parity: calendar queue vs. reference heap.
+
+The calendar-queue kernel and batched medium delivery are pure performance
+work — a seeded scenario must produce *bit-identical* results under either
+kernel and either delivery path. This mirrors ``test_determinism.py`` but
+turns the screws harder: the scenario runs with tracing, a bursty-loss
+channel model, a timed fault schedule (crash/restart + partition/heal) and
+bounded TX queues all enabled, then compares complete Stats summaries,
+event/pending counts AND the byte-for-byte trace export.
+
+Identifier counters (call-ids, branches, packet uids, ...) are process-
+global, so in-process reruns reset them via ``reset_global_ids`` — the
+subprocess variant of this gate (``tools/check.sh``) needs no reset.
+"""
+
+import pytest
+
+from repro.faults.channel import GilbertElliottChannel
+from repro.faults.plan import FaultPlan
+from repro.scenarios import ManetConfig, ManetScenario, reset_global_ids
+
+KERNELS = ("heap", "calendar")
+
+
+def build_plan() -> FaultPlan:
+    return (
+        FaultPlan()
+        .crash(at=14.0, node=7)
+        .partition(at=16.0, group_a=(0, 1, 2), group_b=(20, 21, 22), name="split")
+        .heal(at=20.0, name="split")
+        .restart(at=22.0, node=7)
+        .with_channel(GilbertElliottChannel(p_gb=0.05, p_bg=0.3, loss_bad=0.8))
+    )
+
+
+def run_scenario(kernel: str, batch_delivery: bool = True) -> tuple[dict, int, int, str]:
+    reset_global_ids()
+    scenario = ManetScenario(
+        ManetConfig(
+            n_nodes=25,
+            topology="random",
+            routing="aodv",
+            seed=2026,
+            tx_range=250.0,
+            area=(700.0, 700.0),
+            mobility=True,
+            tracing=True,
+            faults=build_plan(),
+            tx_queue_capacity=16,
+            tx_queue_policy="tail-drop",
+            kernel=kernel,
+            batch_delivery=batch_delivery,
+        )
+    )
+    scenario.start()
+    scenario.add_phone(0, "alice")
+    scenario.add_phone(24, "bob")
+    scenario.converge()
+    scenario.phones["alice"].place_call("sip:bob@voicehoc.ch", duration=5.0)
+    scenario.sim.run(scenario.sim.now + 15.0)
+    scenario.stop()
+    assert scenario.trace is not None
+    return (
+        scenario.stats.summary(),
+        scenario.sim.events_processed,
+        scenario.sim.pending_events,
+        scenario.trace.export_jsonl(),
+    )
+
+
+class TestKernelParity:
+    def test_calendar_matches_heap_bit_for_bit(self):
+        heap = run_scenario("heap")
+        calendar = run_scenario("calendar")
+        assert heap[1] == calendar[1]  # events processed: schedule identity
+        assert heap[2] == calendar[2]  # pending events
+        assert heap[0]["traffic"] == calendar[0]["traffic"]
+        assert heap[0]["counters"] == calendar[0]["counters"]
+        assert heap[0]["samples"] == calendar[0]["samples"]
+        assert heap[3] == calendar[3]  # byte-identical trace export
+        # The scenario exercised faults and shedding, not just happy paths.
+        assert '"fault.node_crash"' in heap[3]
+        assert '"fault.partition"' in heap[3]
+        assert heap[0]["traffic"]["total"]["packets"] > 100
+
+    def test_batched_delivery_matches_per_neighbor_schedule(self):
+        batched = run_scenario("calendar", batch_delivery=True)
+        unbatched = run_scenario("calendar", batch_delivery=False)
+        assert batched == unbatched
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_same_seed_same_run(self, kernel):
+        assert run_scenario(kernel) == run_scenario(kernel)

@@ -19,11 +19,13 @@ from repro.experiments import (
     gateway_table,
     module_inventory_table,
     overhead_vs_nodes_table,
+    run_city_workload,
     run_discovery_workload,
     scalability_table,
     setup_delay_table,
     voice_quality_table,
 )
+from repro.experiments.city import city_area
 
 
 class TestCallExperiments:
@@ -102,3 +104,20 @@ class TestInfrastructureExperiments:
     def test_module_inventory_nonempty(self):
         table = module_inventory_table()
         assert len(table.rows) >= 8
+
+
+class TestCityExperiment:
+    def test_area_hits_target_degree(self):
+        # n * pi * r^2 / side^2 == degree by construction
+        side = city_area(5000, 150.0, degree=10.0)
+        assert math.isclose(5000 * math.pi * 150.0**2 / side**2, 10.0)
+
+    def test_city_workload_minimal(self):
+        result = run_city_workload(
+            n_nodes=120, n_calls=3, drain=10.0, max_call_distance=600.0
+        )
+        assert result["calls"] == 3
+        assert result["established"] >= 2
+        assert result["kernel"] == "calendar"
+        assert result["events"] > 10_000
+        assert result["packets"] > 1_000
