@@ -10,6 +10,7 @@ happens in the SIPHoc proxy underneath.
 from __future__ import annotations
 
 import enum
+import functools
 from dataclasses import dataclass
 from typing import Callable
 
@@ -379,7 +380,7 @@ class SoftPhone:
         record = CallRecord(direction="in", peer=peer, placed_at=self.sim.now)
         self.history.append(record)
         self._records[call.call_id] = record
-        call.on_state = lambda c: self._track_call(c, record, None)
+        call.on_state = functools.partial(self._track_call, record=record, duration=None)
         if self.answer_mode is AnswerMode.REJECT:
             call.reject(486)
             return

@@ -1,25 +1,51 @@
-"""CLI: ``python -m repro.lint [paths] [--format text|json] [--select IDS]``.
+"""CLI: ``python -m repro.lint [paths] [options]``.
 
-Exits 0 when every checked file is clean, 1 when there are findings, and
-2 on usage errors (unknown rule id, no files found).
+Options::
+
+    --format text|json|sarif   report format (default: text)
+    --select IDS               comma-separated rule ids to run
+    --changed                  report only findings in files whose content
+                               changed since the cached run (whole-program
+                               analysis still covers every file)
+    --no-cache                 ignore and do not write .lint_cache/
+    --cache-dir DIR            cache location (default: .lint_cache)
+    --baseline FILE            grandfathered-findings file
+                               (default: lint_baseline.json if present)
+    --write-baseline           write current findings to the baseline file
+    --list-rules               print the rule registry and exit
+
+Exits 0 when every checked file is clean (net of the baseline), 1 when
+there are findings, and 2 on usage errors (unknown rule id, no files).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
-from repro.lint.core import LintEngine, iter_python_files
-from repro.lint.reporters import render_json, render_text
+from repro.lint.core import (
+    ProjectAnalyzer,
+    apply_baseline,
+    iter_python_files,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.reporters import render_json, render_sarif, render_text
 from repro.lint.rules import ALL_RULES, get_rules
+
+DEFAULT_BASELINE = "lint_baseline.json"
+DEFAULT_CACHE_DIR = ".lint_cache"
+
+_RENDERERS = {"text": render_text, "json": render_json, "sarif": render_sarif}
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
-        description="Determinism & cache-coherence static analyzer for the "
-        "SIPHoc reproduction.",
+        description="Determinism, cache-coherence & shard-safety static "
+        "analyzer for the SIPHoc reproduction (whole-program).",
     )
     parser.add_argument(
         "paths",
@@ -29,7 +55,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=sorted(_RENDERERS),
         default="text",
         help="report format (default: text)",
     )
@@ -39,6 +65,34 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="comma-separated rule ids to run (default: all rules)",
     )
     parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="report only findings in files changed since the cached run",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the summary cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=DEFAULT_CACHE_DIR,
+        help=f"summary-cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help=f"baseline file of grandfathered findings (default: "
+        f"{DEFAULT_BASELINE} when present)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule registry and exit",
@@ -46,8 +100,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
+        seen: set[str] = set()
         for rule in ALL_RULES:
-            print(f"{rule.id:9} {rule.title}")
+            marker = "*" if rule.id in seen else " "
+            seen.add(rule.id)
+            print(f"{rule.id:9}{marker} {rule.title}")
         return 0
 
     try:
@@ -61,10 +118,31 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"no python files under: {', '.join(args.paths)}", file=sys.stderr)
         return 2
 
-    engine = LintEngine(rules if rules is not None else ALL_RULES)
-    findings = engine.run(files)
-    renderer = render_json if args.format == "json" else render_text
-    print(renderer(findings, files_checked=len(files)))
+    cache_dir = None if args.no_cache else args.cache_dir
+    analyzer = ProjectAnalyzer(rules, cache_dir=cache_dir)
+    result = analyzer.analyze_paths(files, use_cache=not args.no_cache)
+    findings = result.findings
+
+    baseline_path = args.baseline
+    if baseline_path is None and Path(DEFAULT_BASELINE).is_file():
+        baseline_path = DEFAULT_BASELINE
+
+    if args.write_baseline:
+        target = baseline_path or DEFAULT_BASELINE
+        write_baseline(findings, target)
+        print(f"baseline: wrote {len(findings)} findings to {target}")
+        return 0
+
+    baselined = 0
+    if baseline_path is not None:
+        findings, baselined = apply_baseline(findings, load_baseline(baseline_path))
+
+    if args.changed:
+        changed = set(result.changed_paths)
+        findings = [finding for finding in findings if finding.path in changed]
+
+    renderer = _RENDERERS[args.format]
+    print(renderer(findings, files_checked=result.files_checked, baselined=baselined))
     return 1 if findings else 0
 
 

@@ -11,7 +11,7 @@ tracing on, a full SIP call — under the chosen event kernel, then writes
 the byte-exact trace export followed by one ``summary`` line (Stats
 summary + event counts, canonical JSON). The check.sh gate runs this once
 per kernel in *fresh interpreters* (so the process-global identifier
-counters start equal, no ``reset_global_ids`` needed) and byte-compares
+counters start equal, no ``registry.reset_all()`` needed) and byte-compares
 the two files: any schedule divergence between ``CalendarKernel`` and the
 reference ``HeapKernel`` surfaces as a one-line ``cmp`` diff. The kernel
 name itself is deliberately absent from the output — equal inputs must

@@ -9,9 +9,10 @@ that overhead measurements are honest.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field, replace
 from functools import cached_property
+
+from repro.globalstate import registry
 
 BROADCAST = "255.255.255.255"
 
@@ -31,7 +32,7 @@ FRAMING_BYTES = MAC_HEADER_BYTES + IP_HEADER_BYTES + UDP_HEADER_BYTES
 
 DEFAULT_TTL = 64
 
-_packet_ids = itertools.count(1)
+_packet_ids = registry.counter("netsim.packet.uid", start=1)
 
 
 @dataclass
@@ -64,7 +65,7 @@ class Packet:
     dst: str
     payload: Datagram
     ttl: int = DEFAULT_TTL
-    uid: int = field(default_factory=lambda: next(_packet_ids))
+    uid: int = field(default_factory=_packet_ids.next)
 
     @cached_property
     def size(self) -> int:

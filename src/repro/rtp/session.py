@@ -8,9 +8,8 @@ jitter-buffer late drops), producing a :class:`CallQuality` score.
 
 from __future__ import annotations
 
-import itertools
-
 from repro.errors import CodecError
+from repro.globalstate import registry
 from repro.netsim.node import Node
 from repro.rtp.codecs import Codec, G711
 from repro.rtp.jitter import JitterBuffer
@@ -22,7 +21,7 @@ from repro.rtp.packet import (
 )
 from repro.rtp.quality import CallQuality, score_stream
 
-_ssrc_counter = itertools.count(0x1000)
+_ssrc_counter = registry.counter("rtp.session.ssrc", start=0x1000)
 
 
 class RtpSession:
@@ -41,7 +40,7 @@ class RtpSession:
         self.codec = codec
         self.local_port = local_port
         self.remote = remote
-        self.ssrc = next(_ssrc_counter)
+        self.ssrc = _ssrc_counter.next()
         self._socket = node.bind(local_port, self._on_datagram)
         self._send_task = None
         self._sequence = self.sim.rng.randrange(0, 0x8000) if hasattr(self.sim, "rng") else 0

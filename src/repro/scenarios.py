@@ -302,34 +302,6 @@ class ManetScenario:
         return routing.hop_count_to(self.nodes[to_index].ip)
 
 
-def reset_global_ids() -> None:
-    """Restart every process-global identifier counter.
-
-    Call-ids, tags, nonces, Via branches, RTP ports, SSRCs and packet uids
-    only need process-lifetime uniqueness, so they come from module-global
-    counters — which makes two same-seed scenarios built in one process
-    differ in their identifiers (and therefore in trace exports) even though
-    schedules and Stats match. Parity harnesses that byte-compare traces
-    across in-process runs call this between runs. Never call it while any
-    scenario is live: colliding identifiers would corrupt dialogs mid-flight.
-    """
-    import itertools
-
-    from repro.netsim import packet as _packet
-    from repro.rtp import session as _rtp_session
-    from repro.sip import auth as _auth
-    from repro.sip import dialog as _dialog
-    from repro.sip import transport as _transport
-    from repro.sip import ua as _ua
-
-    _dialog.reset_ids()
-    _auth._nonce_counter = itertools.count(1)
-    _transport._branch_counter = itertools.count(1)
-    _ua._rtp_ports = itertools.count(0)
-    _rtp_session._ssrc_counter = itertools.count(0x1000)
-    _packet._packet_ids = itertools.count(1)
-
-
 def build_chain_call_scenario(
     hops: int,
     routing: str = "aodv",

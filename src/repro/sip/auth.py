@@ -10,10 +10,11 @@ side issues nonces and verifies responses.
 from __future__ import annotations
 
 import hashlib
-import itertools
 from dataclasses import dataclass
 
-_nonce_counter = itertools.count(1)
+from repro.globalstate import registry
+
+_nonce_counter = registry.counter("sip.auth.nonce", start=1)
 
 
 def _md5(text: str) -> str:
@@ -122,7 +123,7 @@ class DigestAuthenticator:
 
     def challenge(self, now: float) -> str:
         """Issue a fresh nonce and build the WWW-Authenticate value."""
-        nonce = f"n{next(_nonce_counter):08x}"
+        nonce = f"n{_nonce_counter.next():08x}"
         self._nonces[nonce] = now + self.NONCE_LIFETIME
         if len(self._nonces) > 1024:
             self._nonces = {n: t for n, t in self._nonces.items() if t > now}

@@ -8,37 +8,26 @@ from this state and routed through the recorded proxy chain.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 
 from repro.errors import SipDialogError
+from repro.globalstate import registry
 from repro.sip.message import Headers, SipRequest, SipResponse
 from repro.sip.uri import NameAddr, SipUri
 
-_tag_counter = itertools.count(1)
-_call_id_counter = itertools.count(1)
+# Tags and call-ids only need process-lifetime uniqueness, so the counters
+# are process-global — registered so repro.globalstate.registry.reset_all()
+# (parity harnesses) and future region shards have one choke point.
+_tag_counter = registry.counter("sip.dialog.tag", start=1)
+_call_id_counter = registry.counter("sip.dialog.call_id", start=1)
 
 
 def new_tag() -> str:
-    return f"tag{next(_tag_counter):06x}"
+    return f"tag{_tag_counter.next():06x}"
 
 
 def new_call_id(host: str) -> str:
-    return f"cid{next(_call_id_counter):08x}@{host}"
-
-
-def reset_ids() -> None:
-    """Restart the process-global tag/call-id counters.
-
-    Tags and call-ids only need process-lifetime uniqueness, so the counters
-    are module-global — which makes two same-seed scenarios in one process
-    differ in their SIP identifiers. Parity harnesses that byte-compare trace
-    exports across in-process runs call this between runs; simulations never
-    should (colliding call-ids across live scenarios would corrupt dialogs).
-    """
-    global _tag_counter, _call_id_counter
-    _tag_counter = itertools.count(1)
-    _call_id_counter = itertools.count(1)
+    return f"cid{_call_id_counter.next():08x}@{host}"
 
 
 DialogKey = tuple[str, str, str]

@@ -7,24 +7,24 @@ header, as RFC 3261 section 18.2.2 prescribes for UDP.
 
 from __future__ import annotations
 
-import itertools
 from typing import Callable
 
 from repro.errors import SipParseError
+from repro.globalstate import registry
 from repro.netsim.node import Node
 from repro.sip.message import SipMessage, SipRequest, SipResponse, Via, parse_message
 
 Address = tuple[str, int]
 ReceiverFn = Callable[[SipRequest | SipResponse, Address], None]
 
-_branch_counter = itertools.count(1)
+_branch_counter = registry.counter("sip.transport.branch", start=1)
 
 BRANCH_MAGIC = "z9hG4bK"
 
 
 def new_branch() -> str:
     """Allocate a globally unique RFC 3261 branch parameter."""
-    return f"{BRANCH_MAGIC}-{next(_branch_counter):08x}"
+    return f"{BRANCH_MAGIC}-{_branch_counter.next():08x}"
 
 
 class SipTransport:

@@ -13,6 +13,7 @@ import itertools
 from typing import Callable
 
 from repro.errors import SipDialogError
+from repro.globalstate import registry
 from repro.netsim.node import Node
 from repro.sip.auth import Credentials
 from repro.sip.dialog import Dialog, DialogKey, new_call_id, new_tag
@@ -29,11 +30,11 @@ from repro.sip.transaction import ServerTransaction, TransactionLayer
 from repro.sip.transport import Address, SipTransport
 from repro.sip.uri import NameAddr, SipUri
 
-_rtp_ports = itertools.count(0)
+_rtp_ports = registry.counter("sip.ua.rtp_port", start=0)
 
 
 def _allocate_rtp_port() -> int:
-    return 16384 + (next(_rtp_ports) % 8192) * 2
+    return 16384 + (_rtp_ports.next() % 8192) * 2
 
 
 class CallState(enum.Enum):

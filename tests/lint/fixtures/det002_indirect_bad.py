@@ -1,0 +1,16 @@
+"""DET002 positive through one level of indirection: the global random module
+smuggled into a callee whose parameter draws from it."""
+
+import random
+
+
+def jitter(rng, base: float) -> float:
+    return base + rng.random()
+
+
+def schedule_retry(sim, base: float) -> float:
+    return jitter(random, base)
+
+
+def schedule_retry_kw(sim, base: float) -> float:
+    return jitter(rng=random, base=base)

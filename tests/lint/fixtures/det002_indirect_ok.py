@@ -1,0 +1,16 @@
+"""DET002 negatives under indirection: seeded RNGs flow into the rng parameter."""
+
+import random
+
+
+def jitter(rng, base: float) -> float:
+    return base + rng.random()
+
+
+def schedule_retry(sim, base: float) -> float:
+    return jitter(sim.rng, base)
+
+
+def schedule_retry_local(sim, seed: int, base: float) -> float:
+    rng = random.Random(seed)
+    return jitter(rng, base)

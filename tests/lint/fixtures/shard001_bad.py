@@ -1,0 +1,19 @@
+"""SHARD001 positives: unregistered module-level mutable state, written at runtime."""
+
+import itertools
+
+_dialog_ids = itertools.count(1)  # counter drawn below
+_pending = {}  # dict written below
+_route_log = []  # list appended below
+
+
+def next_dialog_id() -> int:
+    return next(_dialog_ids)
+
+
+def remember(key, value) -> None:
+    _pending[key] = value
+
+
+def log_route(hop) -> None:
+    _route_log.append(hop)

@@ -1,0 +1,21 @@
+"""SHARD001 negatives: registered via the global-state registry, or never written."""
+
+from repro.globalstate import registry
+
+_dialog_ids = registry.counter("fixtures.shard001.dialog", start=1)
+_pending = registry.mapping("fixtures.shard001.pending")
+
+#: Read-only lookup table: mutable container, but no runtime writes.
+_CODEC_NAMES = {0: "PCMU", 8: "PCMA"}
+
+
+def next_dialog_id() -> int:
+    return _dialog_ids.next()
+
+
+def remember(key, value) -> None:
+    _pending[key] = value
+
+
+def codec_name(payload_type: int) -> str:
+    return _CODEC_NAMES[payload_type]

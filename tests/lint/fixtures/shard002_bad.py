@@ -1,0 +1,22 @@
+"""SHARD002 positives: simulator-capturing closures escaping to module globals."""
+
+from repro.globalstate import registry
+
+_tick_handlers = registry.sequence("fixtures.shard002.tick_handlers")
+_armed_hook = None
+
+
+def install_named(sim) -> None:
+    def on_tick() -> None:
+        sim.schedule(1.0, on_tick)
+
+    _tick_handlers.append(on_tick)
+
+
+def install_lambda(kernel) -> None:
+    _tick_handlers.append(lambda: kernel.dispatch())
+
+
+def arm(sim) -> None:
+    global _armed_hook
+    _armed_hook = lambda: sim.stop()

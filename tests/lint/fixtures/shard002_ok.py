@@ -1,0 +1,18 @@
+"""SHARD002 negatives: handlers stay on the owning simulator, never go global."""
+
+
+def install(sim) -> None:
+    def on_tick() -> None:
+        sim.schedule(1.0, on_tick)
+
+    sim.schedule(1.0, on_tick)
+
+
+class Beacon:
+    """Instance state is fine: the closure lives and dies with its region."""
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+
+    def start(self) -> None:
+        self.sim.schedule(0.0, self.start)

@@ -1,0 +1,28 @@
+"""SHARD003 positive: one seeded RNG shared by two schedulable components."""
+
+import random
+
+
+class TalkSource:
+    def __init__(self, sim, rng) -> None:
+        self.sim = sim
+        self.rng = rng
+
+    def start(self) -> None:
+        self.sim.schedule(self.rng.random(), self.start)
+
+
+class SilenceSource:
+    def __init__(self, sim, rng) -> None:
+        self.sim = sim
+        self.rng = rng
+
+    def start(self) -> None:
+        self.sim.schedule(self.rng.expovariate(1.0), self.start)
+
+
+def build(sim, seed: int):
+    rng = random.Random(seed)
+    talk = TalkSource(sim, rng)
+    silence = SilenceSource(sim, rng)
+    return talk, silence

@@ -1,0 +1,32 @@
+"""SHARD003 negatives: per-component subseeded RNGs, or a single consumer."""
+
+import random
+
+
+class TalkSource:
+    def __init__(self, sim, rng) -> None:
+        self.sim = sim
+        self.rng = rng
+
+    def start(self) -> None:
+        self.sim.schedule(self.rng.random(), self.start)
+
+
+class SilenceSource:
+    def __init__(self, sim, rng) -> None:
+        self.sim = sim
+        self.rng = rng
+
+    def start(self) -> None:
+        self.sim.schedule(self.rng.expovariate(1.0), self.start)
+
+
+def build(sim, seed: int):
+    talk = TalkSource(sim, random.Random(seed))
+    silence = SilenceSource(sim, random.Random(seed + 1))
+    return talk, silence
+
+
+def build_one(sim, seed: int):
+    rng = random.Random(seed)
+    return TalkSource(sim, rng)

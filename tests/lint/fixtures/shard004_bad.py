@@ -1,0 +1,18 @@
+"""SHARD004 positives: unpicklable state in the Node composition closure."""
+
+
+class Radio:
+    def __init__(self) -> None:
+        self.frames = (frame for frame in ())
+
+
+class Node:
+    def __init__(self, sim, trace_path: str) -> None:
+        self.sim = sim
+        self.radio = Radio()
+        self.trace = open(trace_path, "a")
+        self.on_move = lambda position: None
+
+
+def attach_logger(node: Node) -> None:
+    node.on_packet = lambda packet: None

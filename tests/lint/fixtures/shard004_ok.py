@@ -1,0 +1,30 @@
+"""SHARD004 negatives: picklable state on Node; unpicklables outside its closure."""
+
+import functools
+
+
+def _log_move(node, position) -> None:
+    pass
+
+
+class Radio:
+    def __init__(self) -> None:
+        self.frames = []
+
+
+class Node:
+    def __init__(self, sim, trace_path: str) -> None:
+        self.sim = sim
+        self.radio = Radio()
+        self.trace_path = trace_path
+
+
+def attach_logger(node: Node) -> None:
+    node.on_move = functools.partial(_log_move, node)
+
+
+class HostSideMonitor:
+    """Not reachable from Node/ManetScenario: lambdas here are host-side only."""
+
+    def __init__(self) -> None:
+        self.fmt = lambda row: str(row)

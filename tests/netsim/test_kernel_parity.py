@@ -9,15 +9,17 @@ bounded TX queues all enabled, then compares complete Stats summaries,
 event/pending counts AND the byte-for-byte trace export.
 
 Identifier counters (call-ids, branches, packet uids, ...) are process-
-global, so in-process reruns reset them via ``reset_global_ids`` — the
-subprocess variant of this gate (``tools/check.sh``) needs no reset.
+global, so in-process reruns reset them via the global-state registry's
+``reset_all`` — the subprocess variant of this gate (``tools/check.sh``)
+needs no reset.
 """
 
 import pytest
 
 from repro.faults.channel import GilbertElliottChannel
 from repro.faults.plan import FaultPlan
-from repro.scenarios import ManetConfig, ManetScenario, reset_global_ids
+from repro.globalstate import registry
+from repro.scenarios import ManetConfig, ManetScenario
 
 KERNELS = ("heap", "calendar")
 
@@ -34,7 +36,7 @@ def build_plan() -> FaultPlan:
 
 
 def run_scenario(kernel: str, batch_delivery: bool = True) -> tuple[dict, int, int, str]:
-    reset_global_ids()
+    registry.reset_all()
     scenario = ManetScenario(
         ManetConfig(
             n_nodes=25,

@@ -1,0 +1,80 @@
+"""Unit tests for the process-global state registry (repro.globalstate).
+
+The registry is the single choke point SHARD001 certifies: every
+module-level counter/mapping/sequence the runtime mutates registers here so
+test harnesses (and, later, region-shard workers) can enumerate and reset
+per-process state in one deterministic sweep.
+"""
+
+import pytest
+
+from repro.globalstate import GlobalStateRegistry, registry
+
+
+class TestRegistryBasics:
+    def test_counter_sequence_and_reset(self):
+        reg = GlobalStateRegistry()
+        ids = reg.counter("t.ids", start=5)
+        assert [ids.next(), ids.next(), ids.next()] == [5, 6, 7]
+        reg.reset_all()
+        assert ids.next() == 5, "reset must restart from the declared origin"
+
+    def test_mapping_and_sequence_reset_to_empty(self):
+        reg = GlobalStateRegistry()
+        table = reg.mapping("t.table")
+        log = reg.sequence("t.log")
+        table["k"] = 1
+        log.extend([1, 2, 3])
+        reg.reset_all()
+        assert table == {} and log == []
+
+    def test_duplicate_name_rejected(self):
+        reg = GlobalStateRegistry()
+        reg.counter("t.ids")
+        with pytest.raises(ValueError):
+            reg.counter("t.ids")
+
+    def test_custom_reset_hook(self):
+        reg = GlobalStateRegistry()
+        state = {"armed": True}
+        reg.register("t.custom", lambda: state.update(armed=False))
+        reg.reset_all()
+        assert state["armed"] is False
+
+    def test_names_enumerates_sorted(self):
+        reg = GlobalStateRegistry()
+        reg.counter("b")
+        reg.mapping("a")
+        assert reg.names() == ["a", "b"]
+        assert len(reg) == 2
+
+
+class TestProcessRegistry:
+    """The real module-level registry wired into sip/rtp/netsim."""
+
+    EXPECTED = {
+        "netsim.packet.uid",
+        "rtp.session.ssrc",
+        "sip.auth.nonce",
+        "sip.dialog.call_id",
+        "sip.dialog.tag",
+        "sip.transport.branch",
+        "sip.ua.rtp_port",
+    }
+
+    def test_runtime_counters_are_registered(self):
+        import repro.netsim.packet  # noqa: F401
+        import repro.rtp.session  # noqa: F401
+        import repro.sip.dialog  # noqa: F401
+        import repro.sip.transport  # noqa: F401
+        import repro.sip.ua  # noqa: F401
+
+        assert self.EXPECTED <= set(registry.names())
+
+    def test_reset_all_restarts_identifier_streams(self):
+        from repro.sip.dialog import new_call_id, new_tag
+
+        registry.reset_all()
+        first_tag, first_call = new_tag(), new_call_id("host.invalid")
+        registry.reset_all()
+        assert (new_tag(), new_call_id("host.invalid")) == (first_tag, first_call)

@@ -3,15 +3,23 @@
 #
 # Usage: tools/check.sh
 #
-# ruff comes from the dev extra (`pip install -e '.[dev]'`); when it is not
-# installed the step is reported and skipped so the determinism lint and the
-# test suite still gate the change.
+# ruff and mypy come from the dev extra (`pip install -e '.[dev]'`); when not
+# installed those steps are reported and skipped so the determinism lint and
+# the test suite still gate the change.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== repro.lint (determinism & cache coherence) =="
+echo "== repro.lint (whole-program: determinism, cache coherence, shard safety) =="
 python -m repro.lint src/
+echo "== repro.lint incremental (--changed over the warm cache) =="
+python -m repro.lint --changed src/
+
+echo "== repro.lint SARIF (emit + validate against vendored schema) =="
+sarif_tmp=$(mktemp)
+python -m repro.lint --format sarif src/ > "$sarif_tmp" || true
+python tools/validate_sarif.py "$sarif_tmp"
+rm -f "$sarif_tmp"
 
 echo "== repro.trace smoke (traced scenario, JSONL schema) =="
 python -m repro.trace smoke
@@ -35,6 +43,13 @@ if command -v ruff >/dev/null 2>&1; then
     ruff check src/
 else
     echo "ruff not installed (pip install -e '.[dev]') — skipped"
+fi
+
+echo "== mypy (src/repro/lint, src/repro/netsim) =="
+if command -v mypy >/dev/null 2>&1; then
+    mypy src/repro/lint src/repro/netsim
+else
+    echo "mypy not installed (pip install -e '.[dev]') — skipped"
 fi
 
 echo "== pytest =="

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Validate a SARIF report against the vendored minimal schema.
+
+Usage::
+
+    python tools/validate_sarif.py report.sarif [schema.json]
+
+Exit 0 when the document conforms, 1 with one error per line otherwise.
+
+The container has no jsonschema package, so this interprets the small,
+closed subset of JSON Schema the vendored ``tools/sarif_schema.json``
+actually uses: ``type``, ``required``, ``properties``, ``items``,
+``enum``, ``pattern`` and ``minimum``. Unknown keywords are rejected at
+load time rather than silently ignored, so the schema cannot grow past
+what the interpreter understands.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from pathlib import Path
+
+SCHEMA_PATH = Path(__file__).parent / "sarif_schema.json"
+
+_KNOWN_KEYWORDS = {
+    "$comment",
+    "type",
+    "required",
+    "properties",
+    "items",
+    "enum",
+    "pattern",
+    "minimum",
+}
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _check_schema_supported(schema: dict, where: str = "$") -> None:
+    unknown = set(schema) - _KNOWN_KEYWORDS
+    if unknown:
+        raise ValueError(f"{where}: unsupported schema keywords {sorted(unknown)}")
+    for key, sub in schema.get("properties", {}).items():
+        _check_schema_supported(sub, f"{where}.{key}")
+    if "items" in schema:
+        _check_schema_supported(schema["items"], f"{where}[]")
+
+
+def _validate(node, schema: dict, where: str, errors: list[str]) -> None:
+    expected = schema.get("type")
+    if expected is not None:
+        python_type = _TYPES[expected]
+        ok = isinstance(node, python_type)
+        if ok and expected in ("integer", "number") and isinstance(node, bool):
+            ok = False
+        if not ok:
+            errors.append(f"{where}: expected {expected}, got {type(node).__name__}")
+            return
+    if "enum" in schema and node not in schema["enum"]:
+        errors.append(f"{where}: {node!r} not in {schema['enum']}")
+    if "pattern" in schema and isinstance(node, str):
+        if re.search(schema["pattern"], node) is None:
+            errors.append(f"{where}: {node!r} does not match {schema['pattern']!r}")
+    if "minimum" in schema and isinstance(node, (int, float)):
+        if node < schema["minimum"]:
+            errors.append(f"{where}: {node} below minimum {schema['minimum']}")
+    if isinstance(node, dict):
+        for name in schema.get("required", []):
+            if name not in node:
+                errors.append(f"{where}: missing required property {name!r}")
+        for name, sub in schema.get("properties", {}).items():
+            if name in node:
+                _validate(node[name], sub, f"{where}.{name}", errors)
+    if isinstance(node, list) and "items" in schema:
+        for index, item in enumerate(node):
+            _validate(item, schema["items"], f"{where}[{index}]", errors)
+
+
+def validate_sarif(document, schema: dict | None = None) -> list[str]:
+    """Return a list of conformance errors (empty = valid)."""
+    if schema is None:
+        schema = json.loads(SCHEMA_PATH.read_text(encoding="utf-8"))
+    _check_schema_supported(schema)
+    errors: list[str] = []
+    _validate(document, schema, "$", errors)
+    return errors
+
+
+def validate_sarif_text(text: str, schema: dict | None = None) -> list[str]:
+    """Validate a SARIF document given as JSON text."""
+    try:
+        document = json.loads(text)
+    except ValueError as exc:
+        return [f"$: not valid JSON: {exc}"]
+    return validate_sarif(document, schema)
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) not in (2, 3):
+        print(__doc__.strip().splitlines()[0], file=sys.stderr)
+        print("usage: validate_sarif.py report.sarif [schema.json]", file=sys.stderr)
+        return 2
+    report_path = Path(argv[1])
+    schema = None
+    if len(argv) == 3:
+        schema = json.loads(Path(argv[2]).read_text(encoding="utf-8"))
+    errors = validate_sarif_text(report_path.read_text(encoding="utf-8"), schema)
+    for error in errors:
+        print(f"{report_path}: {error}", file=sys.stderr)
+    if not errors:
+        print(f"{report_path}: valid SARIF {json.loads(report_path.read_text())['version']}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
