@@ -91,6 +91,54 @@ def strip_round_data(output: str) -> None:
         fh.write("\n")
 
 
+def embed_metrics_summary(output: str) -> None:
+    """Attach a compact sim-metrics summary to the benchmark JSON.
+
+    Runs the standard instrumented smoke workload (4-node chain, one call,
+    0.5 s scrape interval) and embeds ``summarize_sections`` output — scrape
+    count plus the top-5 gauges by observed max — under a ``metrics`` key.
+    Successive BENCH files then carry a coarse behavioral fingerprint next
+    to the timing trend: a gauge ceiling that jumps between PRs (queue
+    peaks, route-table size) flags a behavior change even when the
+    wall-time aggregates look flat.
+    """
+    import io
+
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.metrics.render import summarize_sections
+    from repro.metrics.scraper import load_jsonl
+    from repro.scenarios import ManetConfig, ManetScenario
+
+    scenario = ManetScenario(
+        ManetConfig(
+            n_nodes=4, seed=7, metrics=True, metrics_interval=0.5,
+            tx_queue_capacity=8,
+        )
+    )
+    scenario.start()
+    scenario.add_phone(0, "alice")
+    scenario.add_phone(3, "bob")
+    scenario.converge()
+    scenario.call_and_wait("alice", "sip:bob@voicehoc.ch", duration=3.0)
+    scenario.stop()
+    sections = load_jsonl(io.StringIO(scenario.metrics.export_text()))
+    summary = summarize_sections(sections, top=5)
+
+    with open(output, encoding="utf-8") as fh:
+        report = json.load(fh)
+    report["metrics"] = summary
+    with open(output, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    top = ", ".join(
+        f"{gauge['name']}={gauge['max']:g}" for gauge in summary["top_gauges"]
+    )
+    print(
+        f"metrics summary embedded ({summary['scrape_count']} scrapes; "
+        f"top gauges: {top})"
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -142,6 +190,7 @@ def main(argv: list[str] | None = None) -> int:
         print_percentile_table(output)
         if not args.save_data:
             strip_round_data(output)
+        embed_metrics_summary(output)
         size_kb = os.path.getsize(output) / 1024.0
         print(f"benchmark JSON written to {output} ({size_kb:.0f} KB)")
     return result.returncode

@@ -227,6 +227,16 @@ class ManetSlp:
         now = self.sim.now
         return [entry for entry in self._cache.values() if entry.is_valid(now)]
 
+    @property
+    def cache_size(self) -> int:
+        """Remote entries held, including not-yet-expired ones (metrics gauge)."""
+        return len(self._cache)
+
+    @property
+    def local_service_count(self) -> int:
+        """Locally registered services (metrics gauge)."""
+        return len(self._local)
+
     def state_dump(self) -> str:
         """Human-readable process state, in the spirit of Figure 4."""
         lines = [

@@ -95,6 +95,21 @@ class SiphocProxy:
     def internet_available(self) -> bool:
         return self._wan_leg is not None
 
+    @property
+    def inflight_forwards(self) -> int:
+        """Dialog-initiating forwards still awaiting a final response."""
+        return self.core.inflight_forwards
+
+    @property
+    def inflight_peak(self) -> int:
+        """Highest :attr:`inflight_forwards` ever observed."""
+        return self.core.inflight_peak
+
+    @property
+    def rejected_overload(self) -> int:
+        """Requests shed by admission control with a 503."""
+        return self.core.rejected_overload
+
     def configure_account(self, account: SipAccount) -> None:
         """Make provider-specific settings (e.g. the mandated outbound proxy
         of the polyphone case) known to the proxy — the paper's future-work

@@ -172,6 +172,11 @@ class SoftPhone:
         self.on_text: Callable[["TextMessage"], None] | None = None
         self.on_buddy_change: Callable[[str, PresenceStatus], None] | None = None
 
+    @property
+    def media_sessions(self) -> list[RtpSession]:
+        """Open RTP sessions, one per active call leg (metrics gauge)."""
+        return list(self._media_sessions.values())
+
     # -- lifecycle ------------------------------------------------------------------
     def start(
         self,

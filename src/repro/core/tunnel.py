@@ -124,6 +124,12 @@ class TunnelServer:
         now = self.sim.now
         return [lease for lease in self._leases.values() if lease.is_active(now)]
 
+    @property
+    def active_lease_count(self) -> int:
+        """Number of currently active leases (metrics gauge; no mutation)."""
+        now = self.sim.now
+        return sum(1 for lease in self._leases.values() if lease.is_active(now))
+
     # -- control plane ----------------------------------------------------------
     def _on_ctrl(self, data: bytes, src_ip: str, sport: int) -> None:
         if self.closed:

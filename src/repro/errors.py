@@ -73,3 +73,7 @@ class GatewayError(ReproError):
 
 class ConfigError(ReproError):
     """Raised for invalid component configuration."""
+
+
+class MetricsError(ReproError):
+    """Raised for invalid metrics registration, export or profiler use."""

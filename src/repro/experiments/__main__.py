@@ -13,6 +13,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+import repro.metrics as metrics
 import repro.trace as trace
 from repro.experiments import (
     ablation_discovery_table,
@@ -114,6 +115,20 @@ def main(argv: list[str] | None = None) -> int:
         help="trace every scenario the selected artifacts build and write the "
         "combined JSONL here (analyze with python -m repro.trace)",
     )
+    parser.add_argument(
+        "--metrics",
+        metavar="OUT.JSONL",
+        help="scrape sim-time metrics from every scenario the selected "
+        "artifacts build and write the combined JSONL here (analyze with "
+        "python -m repro.metrics)",
+    )
+    parser.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="sim-seconds between metric snapshots (default: 1.0)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -130,6 +145,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.trace:
         trace.enable_default()
+    if args.metrics:
+        metrics.enable_default(args.metrics_interval)
     try:
         for key in selected:
             description, quick, full, fn = ARTIFACTS[key]
@@ -141,9 +158,14 @@ def main(argv: list[str] | None = None) -> int:
         if args.trace:
             count = trace.export_registered(args.trace)
             print(f"[trace: {count} events written to {args.trace}]")
+        if args.metrics:
+            count = metrics.export_registered(args.metrics)
+            print(f"[metrics: {count} snapshots written to {args.metrics}]")
     finally:
         if args.trace:
             trace.disable_default()
+        if args.metrics:
+            metrics.disable_default()
     return 0
 
 

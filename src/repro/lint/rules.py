@@ -1,7 +1,7 @@
 """The project rule set.
 
 Per-file rules: DET001–DET003, CACHE001–CACHE002, SIM001, FAULT001,
-OVR001, PERF001. Whole-program rules: the SHARD family (shard-safety for
+OBS001, OVR001, PERF001. Whole-program rules: the SHARD family (shard-safety for
 region-sharded logical processes) and the cross-call DET002 sweep. Every
 rule guards an invariant the simulator's determinism, PR 1's caching
 layer or the sharding roadmap item depends on; DESIGN.md §5c/§5h document
@@ -55,19 +55,24 @@ class _WallClockVisitor(RuleVisitor):
 
 class WallClockRule(Rule):
     id = "DET001"
-    title = "no wall-clock reads outside the simulator and benchmarks"
+    title = "no wall-clock reads outside the simulator, profiler and benchmarks"
     rationale = (
         "Any code path keyed on host time diverges between runs; only the "
-        "simulator core (which defines virtual time) and benchmarks (which "
-        "measure the host) may touch the real clock."
+        "simulator core (which defines virtual time), the kernel profiler "
+        "(which measures the host by design) and benchmarks may touch the "
+        "real clock."
     )
     visitor_class = _WallClockVisitor
+
+    #: ``(dir, file)`` suffixes exempt from the rule: the simulator owns
+    #: virtual time, the profiler's entire purpose is wall-time attribution.
+    EXEMPT_SUFFIXES = (("netsim", "simulator.py"), ("metrics", "profiler.py"))
 
     def applies_to(self, path: Path) -> bool:
         parts = path.parts
         if "benchmarks" in parts:
             return False
-        return not (len(parts) >= 2 and parts[-2:] == ("netsim", "simulator.py"))
+        return not (len(parts) >= 2 and parts[-2:] in self.EXEMPT_SUFFIXES)
 
 
 # ---------------------------------------------------------------------------
@@ -528,6 +533,55 @@ class FaultScheduleRule(Rule):
 
 
 # ---------------------------------------------------------------------------
+# OBS001 — observability code must not perturb or fork determinism sources
+# ---------------------------------------------------------------------------
+
+
+class _MetricsPurityVisitor(RuleVisitor):
+    def visit_Call(self, node: ast.Call) -> None:
+        name = self.ctx.resolve_dotted(node.func)
+        if name in _WALL_CLOCK_CALLS:
+            self.report(
+                node,
+                f"wall-clock call {name}() in metrics code: scrape timing "
+                "must derive from sim time only, or the observer changes "
+                "what it observes; wall-time belongs in metrics/profiler.py",
+            )
+        elif name is not None and name.startswith("random."):
+            # Stricter than DET002: even a *seeded* random.Random is banned.
+            # Metrics code drawing randomness (sampling, jitter) would fork
+            # the random stream, so enabling metrics would change the run it
+            # is supposed to passively observe.
+            self.report(
+                node,
+                f"{name}() in metrics code: instruments and scrapers must be "
+                "pure readers — no sampling jitter, no private RNG — so "
+                "enabling metrics cannot perturb the observed run",
+            )
+        self.generic_visit(node)
+
+
+class MetricsPurityRule(Rule):
+    id = "OBS001"
+    title = "no wall-clock or random.* calls under metrics/ (profiler exempt)"
+    rationale = (
+        "The metrics subsystem's contract is zero observer effect: same-seed "
+        "runs are byte-identical with scraping on or off. That only holds if "
+        "metrics code is a pure function of registry state and Simulator.now "
+        "— any wall-clock read or RNG (seeded or not) couples snapshots to "
+        "the host. The one sanctioned exception is metrics/profiler.py, "
+        "whose entire purpose is wall-time measurement."
+    )
+    visitor_class = _MetricsPurityVisitor
+
+    def applies_to(self, path: Path) -> bool:
+        parts = path.parts
+        if "metrics" not in parts:
+            return False
+        return not (len(parts) >= 2 and parts[-2:] == ("metrics", "profiler.py"))
+
+
+# ---------------------------------------------------------------------------
 # OVR001 — unbounded queues in overload-sensitive subsystems
 # ---------------------------------------------------------------------------
 
@@ -908,6 +962,7 @@ ALL_RULES: tuple[Rule, ...] = (
     PositionWriteRule(),
     TimeEqualityRule(),
     FaultScheduleRule(),
+    MetricsPurityRule(),
     UnboundedQueueRule(),
     HeapqUseRule(),
     ShardGlobalStateRule(),

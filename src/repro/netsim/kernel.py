@@ -149,6 +149,26 @@ class _KernelBase:
         self._live += count
         return count
 
+    def run_scraped(self, until: float, scraper: Any) -> None:
+        """Advance to ``until``, pausing at scrape boundaries.
+
+        Chops one clock advance into chunks at the scraper's due times and
+        snapshots between chunks. Chunked :meth:`run` calls pop exactly the
+        same ``(time, seq)`` sequence as one big call (events fire at their
+        own times; the intermediate ``now`` writes below are overwritten by
+        the Simulator facade's final advance), so the event schedule is
+        byte-identical with scraping on or off — the metrics determinism
+        contract (DESIGN.md §5i).
+        """
+        nxt = scraper.next_due
+        while nxt <= until:
+            self.run(nxt)
+            if self.now < nxt:
+                self.now = nxt
+            scraper.scrape(nxt)
+            nxt = scraper.next_due
+        self.run(until)
+
     @property
     def live(self) -> int:
         """Number of live (non-cancelled) scheduled events. O(1)."""

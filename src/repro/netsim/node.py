@@ -124,6 +124,7 @@ class InterfaceTxQueue:
         self.enqueued = 0
         self.dropped = 0
         self.transmitted = 0
+        self.peak_depth = 0
 
     @property
     def depth(self) -> int:
@@ -157,6 +158,8 @@ class InterfaceTxQueue:
         self.enqueued += 1
         self.node.stats.increment("txqueue.enqueued")
         depth = len(self._frames)
+        if depth > self.peak_depth:
+            self.peak_depth = depth
         tracer = self.sim.tracer
         if tracer is not None:
             tracer.emit("queue.enqueue", self.node.ip, uid=packet.uid, depth=depth)

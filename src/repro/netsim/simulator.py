@@ -100,6 +100,12 @@ class Simulator:
         # Optional repro.trace.TraceCollector; None means tracing is off and
         # emission sites pay only this attribute read plus a None check.
         self.tracer = None
+        # Optional repro.metrics.MetricsScraper; None means metrics are off
+        # and run() takes the direct kernel.run path.
+        self.metrics = None
+        # Optional repro.metrics.profiler.KernelProfiler, set by
+        # attach_profiler(); kept for introspection/uninstall.
+        self.profiler = None
 
     @property
     def kernel(self) -> str:
@@ -159,16 +165,38 @@ class Simulator:
             raise SimulationError(
                 f"cannot run until {until:.6f}, clock is already at {kernel.now:.6f}"
             )
-        kernel.run(until)
+        scraper = self.metrics
+        if scraper is not None and scraper.enabled:
+            kernel.run_scraped(until, scraper)
+        else:
+            kernel.run(until)
         kernel.now = until
 
     def run_until_idle(self, max_time: float = 3600.0) -> None:
         """Process events until the queue drains or ``max_time`` is reached.
 
         Useful in tests; periodic tasks never drain, so most scenarios should
-        prefer :meth:`run`.
+        prefer :meth:`run`. Metrics scraping does not piggyback here: the
+        clock stops at the last event rather than ``max_time``, so scrape
+        boundaries past the drain point would advance it — an observer
+        effect. :meth:`run` is the only scrape piggyback point.
         """
         self._kernel.run(max_time)
+
+    def attach_profiler(self, profiler: Any) -> Any:
+        """Install an opt-in kernel profiler (see ``repro.metrics.profiler``).
+
+        Delegates to ``profiler.install(self)``; :attr:`profiler` holds the
+        installed instance. Zero overhead when never called: scheduling stays
+        bound straight to the kernel.
+        """
+        profiler.install(self)
+        return profiler
+
+    def detach_profiler(self) -> None:
+        """Uninstall the profiler installed by :meth:`attach_profiler`."""
+        if self.profiler is not None:
+            self.profiler.uninstall()
 
     def run_until(
         self,

@@ -140,6 +140,54 @@ class Stats:
     def series(self, name: str) -> SampleSeries:
         return self.samples[name]
 
+    #: Version of the :meth:`to_dict` serialization schema. Bump on any
+    #: incompatible shape change so archived exports stay interpretable.
+    SCHEMA_VERSION = 1
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        """Lossless plain-dict form (schema-versioned, keys sorted).
+
+        Unlike :meth:`summary` this keeps raw sample values, so
+        :meth:`from_dict` reconstructs an equivalent :class:`Stats`. All
+        traffic-class, counter and sample keys are sorted for stable
+        serialization (byte-identical JSON across same-seed runs).
+        """
+        return {
+            "schema_version": self.SCHEMA_VERSION,
+            "traffic": {
+                name: {"packets": counter.packets, "bytes": counter.bytes}
+                for name, counter in sorted(self.traffic.items())
+            },
+            "counters": dict(sorted(self.counters.items())),
+            "samples": {
+                name: list(series.values)
+                for name, series in sorted(self.samples.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Stats":
+        """Rebuild a :class:`Stats` from :meth:`to_dict` output."""
+        version = data.get("schema_version")
+        if version != cls.SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported Stats schema_version {version!r} "
+                f"(expected {cls.SCHEMA_VERSION})"
+            )
+        stats = cls()
+        for name, traffic in data.get("traffic", {}).items():
+            counter = stats.traffic[name]
+            counter.packets = int(traffic["packets"])
+            counter.bytes = int(traffic["bytes"])
+        for name, value in data.get("counters", {}).items():
+            stats.counters[name] = int(value)
+        for name, values in data.get("samples", {}).items():
+            series = stats.samples[name]
+            for value in values:
+                series.add(value)
+        return stats
+
     # -- reporting ---------------------------------------------------------
     def summary(self) -> dict[str, object]:
         """A plain-dict snapshot suitable for printing or assertions."""

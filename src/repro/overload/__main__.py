@@ -48,10 +48,21 @@ def _rerun_in_fresh_process() -> str:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    import repro.metrics as metrics
+
     cfg = OverloadConfig(seed=args.seed, routing=args.routing)
     if args.loads:
         cfg.loads = tuple(args.loads)
-    report = run_sweep(cfg)
+    if args.metrics:
+        metrics.enable_default(args.metrics_interval)
+    try:
+        report = run_sweep(cfg)
+        if args.metrics:
+            count = metrics.export_registered(args.metrics)
+            print(f"[metrics: {count} snapshots written to {args.metrics}]")
+    finally:
+        if args.metrics:
+            metrics.disable_default()
     print(report.render(), end="")
     return 0 if report.graceful_pass else 1
 
@@ -132,6 +143,19 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         metavar="CPS",
         help="offered call rates to sweep (default: 0.5 1 2 4)",
+    )
+    p_sweep.add_argument(
+        "--metrics",
+        metavar="OUT.JSONL",
+        help="scrape sim-time metrics from every sweep point (one labelled "
+        "section per point) and write the combined JSONL here",
+    )
+    p_sweep.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="sim-seconds between metric snapshots (default: 1.0)",
     )
     p_sweep.set_defaults(fn=_cmd_sweep)
 

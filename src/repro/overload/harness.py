@@ -245,6 +245,12 @@ def run_load_point(cfg: OverloadConfig, load: float, controlled: bool) -> LoadPo
     involved anywhere in the workload.
     """
     scenario = build_overload_scenario(cfg, controlled)
+    if scenario.metrics is not None:
+        # Label this point's section so the combined export reads as a
+        # sweep: `python -m repro.metrics dash` shows the knee per point.
+        scenario.metrics.label = (
+            f"{load:g}cps-{MODE_CONTROLLED if controlled else MODE_UNCONTROLLED}"
+        )
     scenario.converge()
     scenario.call_and_wait("caller", "sip:callee@voicehoc.ch", duration=0.5)
     warmup_records = len(scenario.phones["caller"].history)

@@ -70,6 +70,11 @@ class Aodv(RoutingProtocol):
         self._retried_uids: set[int] = set()
         self._hello_task = None
 
+    @property
+    def pending_discovery_count(self) -> int:
+        """Route discoveries in flight (metrics gauge)."""
+        return len(self._pending)
+
     # -- lifecycle -------------------------------------------------------------
     def _on_start(self) -> None:
         if self.use_hello:

@@ -133,6 +133,11 @@ class RoutingProtocol(abc.ABC):
     def _on_datagram(self, data: bytes, src_ip: str, sport: int) -> None:
         """Handle a received routing-control datagram."""
 
+    @property
+    def route_count(self) -> int:
+        """Route-table entries, including expired-but-unpurged (metrics gauge)."""
+        return len(self.table)
+
     def route_to(self, destination: str) -> Route | None:
         """A currently usable route, or None (does not trigger discovery)."""
         return self.table.lookup(destination, self.sim.now)

@@ -86,6 +86,16 @@ class Olsr(RoutingProtocol):
         self._tc_task = None
         self._retried_uids: set[int] = set()
 
+    @property
+    def topology_size(self) -> int:
+        """Known TC-advertised origins (metrics gauge)."""
+        return len(self._topology)
+
+    @property
+    def mpr_count(self) -> int:
+        """Current multipoint-relay selection size (metrics gauge)."""
+        return len(self._mpr_set)
+
     # -- lifecycle ------------------------------------------------------------
     def _on_start(self) -> None:
         self._hello_task = self.sim.schedule_periodic(

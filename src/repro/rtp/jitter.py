@@ -34,6 +34,7 @@ class JitterBuffer:
     _anchor_time: float | None = None
     _anchor_seq: int | None = None
     _seen: set[int] = field(default_factory=set)
+    _last_playout_at: float | None = None
 
     def on_packet(self, sequence: int, arrival_time: float) -> bool:
         """Record an arrival; returns True if the frame makes its slot."""
@@ -48,14 +49,29 @@ class JitterBuffer:
             self._anchor_time = arrival_time
             self._anchor_seq = sequence
             self.stats.played += 1
+            self._last_playout_at = arrival_time + self.playout_delay
             return True
         offset = _seq_delta(sequence, self._anchor_seq)
         playout_at = self._anchor_time + self.playout_delay + offset * self.frame_interval
         if arrival_time <= playout_at:
             self.stats.played += 1
+            if self._last_playout_at is None or playout_at > self._last_playout_at:
+                self._last_playout_at = playout_at
             return True
         self.stats.late_dropped += 1
         return False
+
+    def backlog_at(self, now: float) -> int:
+        """Frames accepted but not yet played out at sim time ``now``.
+
+        The buffer classifies rather than stores frames, so depth is derived
+        from the playout schedule: the furthest scheduled playout instant
+        minus ``now``, in frame slots, clamped at zero. A read-only estimate
+        for the metrics gauges.
+        """
+        if self._last_playout_at is None or self._last_playout_at <= now:
+            return 0
+        return int((self._last_playout_at - now) / self.frame_interval) + 1
 
 
 def _seq_delta(sequence: int, anchor: int) -> int:

@@ -29,6 +29,8 @@ from repro.netsim.node import Node
 from repro.netsim.packet import manet_ip
 from repro.netsim.simulator import Simulator
 from repro.netsim.stats import Stats
+from repro.metrics import instruments as metrics_instruments
+from repro.metrics import scraper as metrics_scraper
 from repro.sip.ua import CallState
 from repro.trace import collector as trace_collector
 
@@ -64,6 +66,8 @@ class ManetConfig:
     strict_providers: tuple[str, ...] = ()  # providers mandating an SBC
     tracing: bool = False  # attach a repro.trace collector to the simulator
     trace_capacity: int = 65536  # trace ring-buffer size (events)
+    metrics: bool = False  # attach a repro.metrics scraper + standard gauges
+    metrics_interval: float = 1.0  # sim-seconds between metric snapshots
     faults: FaultPlan | None = None  # timed fault events + optional channel model
     # -- overload control (§5f; defaults keep every path bit-identical) -------
     tx_queue_capacity: int | None = None  # bounded per-node TX queue (None = unbounded)
@@ -149,6 +153,18 @@ class ManetScenario:
                 max_speed=base.mobility_speed[1],
                 pause_time=base.mobility_pause,
             )
+        # Metrics mirror the trace opt-in: per-scenario via the config flag,
+        # process-wide via repro.metrics.enable_default (how the harness
+        # `--metrics` flags opt in without touching every constructor). The
+        # scraper piggybacks on Simulator.run — no scheduled events, so the
+        # event schedule is byte-identical with metrics on or off.
+        self.metrics: metrics_scraper.MetricsScraper | None = None
+        default_interval = metrics_scraper.default_interval()
+        if base.metrics or default_interval is not None:
+            interval = base.metrics_interval if base.metrics else default_interval
+            self.metrics = metrics_scraper.MetricsScraper(interval=interval).attach(self.sim)
+            metrics_instruments.install_scenario_instruments(self)
+            metrics_scraper.register(self.metrics)
         self.phones: dict[str, SoftPhone] = {}
         self._phone_specs: list[dict] = []
         self._retired_phones: list[SoftPhone] = []

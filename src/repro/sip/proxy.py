@@ -177,6 +177,8 @@ class ProxyCore:
         #: transactions linger for 32 s absorbing retransmissions, so a burst
         #: of *rejections* would keep the proxy wedged at its own watermark.)
         self.inflight_forwards = 0
+        #: Highest inflight_forwards ever observed (metrics gauge).
+        self.inflight_peak = 0
         self.rejected_overload = 0
 
     # -- compatibility accessors for the single-leg common case ------------------
@@ -394,6 +396,8 @@ class ProxyCore:
         tracked = request.method in ("INVITE", "REGISTER")
         if tracked:
             self.inflight_forwards += 1
+            if self.inflight_forwards > self.inflight_peak:
+                self.inflight_peak = self.inflight_forwards
 
         def settle() -> None:
             nonlocal tracked

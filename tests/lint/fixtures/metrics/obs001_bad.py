@@ -1,0 +1,21 @@
+"""OBS001 positive fixture: metrics code owning a clock or RNG.
+
+Everything here also shows the overlap with the base rules: the wall-clock
+read trips DET001 too, the global-RNG draw trips DET002 too, and the
+*seeded* Random — which DET002 allows — is still banned under metrics/.
+"""
+
+import random
+import time
+
+
+def sampled(values, rate):
+    return [value for value in values if random.random() < rate]
+
+
+def make_jitter_rng(seed):
+    return random.Random(seed)
+
+
+def snapshot_stamp():
+    return time.time()

@@ -1,0 +1,9 @@
+"""OBS001 negative fixture: pure readers keyed on sim time only."""
+
+
+def scrape(registry, sim):
+    return {"t": sim.now, "values": registry.collect(sim.now)}
+
+
+def depth_gauge(node):
+    return float(len(node.tx_queue))

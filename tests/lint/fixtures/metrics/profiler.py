@@ -1,0 +1,22 @@
+"""OBS001/DET001 exemption fixture: metrics/profiler.py may read wall time.
+
+The profiler's whole purpose is attributing host wall-time to handlers, so
+both the metrics purity rule and the wall-clock rule stand down here.
+"""
+
+import time
+
+
+def timed(callback):
+    def wrapper(*args):
+        start = time.perf_counter()
+        try:
+            return callback(*args)
+        finally:
+            _record(time.perf_counter() - start)
+
+    return wrapper
+
+
+def _record(elapsed):
+    del elapsed

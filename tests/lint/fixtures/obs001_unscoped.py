@@ -1,0 +1,7 @@
+"""OBS001 scoping fixture: a seeded Random outside metrics/ is fine."""
+
+import random
+
+
+def make_seeded_sampler_rng(seed):
+    return random.Random(seed)

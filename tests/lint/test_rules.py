@@ -37,6 +37,10 @@ EXPECTED = {
     "faults/fault001_bad.py": ["DET001", "DET002", "FAULT001", "FAULT001", "FAULT001"],
     "faults/fault001_ok.py": [],
     "fault001_unscoped.py": [],
+    "metrics/obs001_bad.py": ["DET001", "DET002", "OBS001", "OBS001", "OBS001"],
+    "metrics/obs001_ok.py": [],
+    "metrics/profiler.py": [],
+    "obs001_unscoped.py": [],
     "netsim/ovr001_bad.py": ["OVR001"] * 5,
     "netsim/ovr001_ok.py": [],
     "ovr001_unscoped.py": [],

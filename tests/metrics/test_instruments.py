@@ -1,0 +1,104 @@
+"""The standard scenario instrument set: coverage and read-only purity."""
+
+import pytest
+
+from repro.metrics import scraper as scraper_mod
+from repro.scenarios import ManetConfig, ManetScenario
+
+#: Gauges every instrumented scenario must expose regardless of workload.
+EXPECTED_GAUGES = [
+    "gateway.leases.active",
+    "routing.routes.max",
+    "routing.routes.sum",
+    "rtp.jitter.backlog.max",
+    "rtp.jitter.backlog.sum",
+    "rtp.sessions",
+    "sim.events_processed",
+    "sim.pending_events",
+    "sip.admission.inflight",
+    "sip.admission.inflight.peak",
+    "slp.cache.size.max",
+    "slp.cache.size.sum",
+    "slp.local.services",
+    "txqueue.depth.max",
+    "txqueue.depth.peak",
+    "txqueue.depth.sum",
+]
+
+
+@pytest.fixture
+def scenario():
+    built = ManetScenario(
+        ManetConfig(
+            n_nodes=3, seed=3, metrics=True, metrics_interval=0.5,
+            tx_queue_capacity=8,
+        )
+    )
+    yield built
+    built.stop()
+
+
+class TestInstallation:
+    def test_metrics_off_by_default(self):
+        scenario = ManetScenario(ManetConfig(n_nodes=2, seed=1))
+        assert scenario.metrics is None
+        assert scenario.sim.metrics is None
+        scenario.stop()
+
+    def test_standard_gauges_registered(self, scenario):
+        registry = scenario.metrics.registry
+        for name in EXPECTED_GAUGES:
+            assert name in registry, name
+        assert "txqueue.depth.dist" in registry
+        assert "routing.routes.dist" in registry
+
+    def test_enable_default_attaches_without_config_flag(self):
+        scraper_mod.disable_default()
+        scraper_mod.enable_default(0.25)
+        try:
+            scenario = ManetScenario(ManetConfig(n_nodes=2, seed=1))
+            assert scenario.metrics is not None
+            assert scenario.metrics.interval == 0.25
+            assert scenario.metrics in scraper_mod.registered()
+            scenario.stop()
+        finally:
+            scraper_mod.disable_default()
+
+    def test_config_interval_wins_over_default(self):
+        scraper_mod.disable_default()
+        scraper_mod.enable_default(5.0)
+        try:
+            scenario = ManetScenario(
+                ManetConfig(n_nodes=2, seed=1, metrics=True, metrics_interval=0.5)
+            )
+            assert scenario.metrics.interval == 0.5
+            scenario.stop()
+        finally:
+            scraper_mod.disable_default()
+
+
+class TestReadings:
+    def test_gauges_move_during_a_run(self, scenario):
+        scenario.start()
+        scenario.converge()
+        snapshots = scenario.metrics.snapshots
+        assert snapshots, "converge() advanced sim time; scrapes must exist"
+        last = snapshots[-1]
+        assert last.gauges["routing.routes.sum"] > 0
+        assert last.gauges["sim.events_processed"] > 0
+        assert last.counters["metrics.scrapes"] == len(snapshots)
+
+    def test_histograms_observe_population_per_scrape(self, scenario):
+        scenario.start()
+        scenario.converge()
+        last = scenario.metrics.snapshots[-1]
+        depth_dist = last.histograms["txqueue.depth.dist"]
+        # one observation per node per scrape
+        assert depth_dist["count"] == len(scenario.metrics.snapshots) * 3
+
+    def test_collect_does_not_insert_stats_keys(self, scenario):
+        # Stats-mirror gauges must use dict.get: reading a counter that was
+        # never incremented must not materialize it in the defaultdict.
+        before = scenario.stats.summary()
+        scenario.metrics.registry.collect(t=0.0)
+        assert scenario.stats.summary() == before

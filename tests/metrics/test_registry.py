@@ -1,0 +1,166 @@
+"""Unit tests for the instrument registry and Prometheus renderer."""
+
+import pytest
+
+from repro.errors import MetricsError
+from repro.metrics.registry import (
+    DEPTH_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    prometheus_name,
+    render_prometheus,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("calls.placed")
+        assert counter.read() == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.read() == 5
+
+    def test_rejects_decrease(self):
+        counter = Counter("calls.placed")
+        with pytest.raises(MetricsError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_rejects_invalid_name(self):
+        with pytest.raises(MetricsError, match="invalid metric name"):
+            Counter("calls placed")
+        with pytest.raises(MetricsError, match="invalid metric name"):
+            Counter("9calls")
+
+
+class TestGauge:
+    def test_imperative_set(self):
+        gauge = Gauge("queue.depth")
+        assert gauge.read() == 0.0
+        gauge.set(7.0)
+        assert gauge.read() == 7.0
+
+    def test_callback_driven(self):
+        state = {"depth": 3}
+        gauge = Gauge("queue.depth", fn=lambda: state["depth"])
+        assert gauge.read() == 3
+        state["depth"] = 9
+        assert gauge.read() == 9
+
+    def test_set_on_callback_gauge_raises(self):
+        gauge = Gauge("queue.depth", fn=lambda: 1.0)
+        with pytest.raises(MetricsError, match="callback-driven"):
+            gauge.set(2.0)
+
+
+class TestHistogram:
+    def test_bucketing_and_cumulative_read(self):
+        hist = Histogram("depth", bounds=(1.0, 4.0, 8.0))
+        for value in (0.0, 1.0, 2.0, 5.0, 100.0):
+            hist.observe(value)
+        data = hist.read()
+        assert data["bounds"] == [1.0, 4.0, 8.0]
+        # per-bucket: <=1 -> 2, <=4 -> 1, <=8 -> 1, +Inf -> 1; cumulative:
+        assert data["buckets"] == [2, 3, 4, 5]
+        assert data["count"] == 5
+        assert data["sum"] == 108.0
+
+    def test_rejects_empty_bounds(self):
+        with pytest.raises(MetricsError, match="at least one bucket"):
+            Histogram("depth", bounds=())
+
+    def test_rejects_non_ascending_bounds(self):
+        with pytest.raises(MetricsError, match="strictly ascending"):
+            Histogram("depth", bounds=(1.0, 1.0))
+        with pytest.raises(MetricsError, match="strictly ascending"):
+            Histogram("depth", bounds=(4.0, 2.0))
+
+    def test_rejects_non_finite_bounds(self):
+        with pytest.raises(MetricsError, match="finite"):
+            Histogram("depth", bounds=(1.0, float("inf")))
+
+    def test_default_depth_buckets_are_ascending(self):
+        assert list(DEPTH_BUCKETS) == sorted(DEPTH_BUCKETS)
+        Histogram("depth", bounds=DEPTH_BUCKETS)  # must not raise
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x")
+        second = registry.counter("x")
+        assert first is second
+        assert len(registry) == 1
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(MetricsError, match="already registered as counter"):
+            registry.gauge("x")
+
+    def test_instruments_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta")
+        registry.gauge("alpha")
+        registry.histogram("mid")
+        assert [i.name for i in registry.instruments()] == ["alpha", "mid", "zeta"]
+
+    def test_contains_and_get(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        assert "g" in registry
+        assert "missing" not in registry
+        assert registry.get("g") is gauge
+        assert registry.get("missing") is None
+
+    def test_collect_sections_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b.count").inc(2)
+        registry.counter("a.count").inc(1)
+        registry.gauge("g").set(5.0)
+        registry.histogram("h", bounds=(1.0,)).observe(0.5)
+        sections = registry.collect(t=1.0)
+        assert list(sections["counters"]) == ["a.count", "b.count"]
+        assert sections["counters"]["b.count"] == 2
+        assert sections["gauges"] == {"g": 5.0}
+        assert sections["histograms"]["h"]["count"] == 1
+
+    def test_samplers_run_before_values_are_read(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("sampled")
+        seen = []
+
+        def sampler(t):
+            seen.append(t)
+            gauge.set(42.0)
+
+        registry.add_sampler(sampler)
+        sections = registry.collect(t=2.5)
+        assert seen == [2.5]
+        assert sections["gauges"]["sampled"] == 42.0
+
+
+class TestPrometheus:
+    def test_name_mapping(self):
+        assert prometheus_name("txqueue.depth.max") == "repro_txqueue_depth_max"
+        assert prometheus_name("plain", prefix="") == "plain"
+
+    def test_render_counter_gauge_histogram(self):
+        registry = MetricsRegistry()
+        registry.counter("c", help="a counter").inc(3)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", bounds=(1.0, 2.0)).observe(1.5)
+        text = render_prometheus(registry.collect(0.0), registry=registry)
+        assert "# HELP repro_c a counter" in text
+        assert "# TYPE repro_c counter" in text
+        assert "repro_c 3" in text
+        assert "repro_g 1.5" in text
+        assert 'repro_h_bucket{le="1.0"} 0' in text
+        assert 'repro_h_bucket{le="2.0"} 1' in text
+        assert 'repro_h_bucket{le="+Inf"} 1' in text
+        assert "repro_h_sum 1.5" in text
+        assert "repro_h_count 1" in text
+
+    def test_render_empty_sections_is_empty(self):
+        assert render_prometheus({"counters": {}, "gauges": {}, "histograms": {}}) == ""

@@ -125,3 +125,95 @@ class TestSampleSeries:
         series.add(0.0)
         assert series.percentile(0) == 0.0  # cache invalidated by growth
         assert series._sorted is not first_sorted
+
+
+class TestPercentileEdgeCases:
+    """Nearest-rank boundary behavior: the cases summaries actually hit."""
+
+    def test_empty_series_every_pct_is_nan(self):
+        series = SampleSeries()
+        for pct in (0, 50, 100):
+            assert math.isnan(series.percentile(pct))
+
+    def test_single_sample_every_pct_returns_it(self):
+        series = SampleSeries(values=[42.0])
+        for pct in (0, 1, 50, 99, 100):
+            assert series.percentile(pct) == 42.0
+
+    def test_p0_is_minimum_and_p100_is_maximum(self):
+        series = SampleSeries(values=[9.0, 7.0, 3.0, 5.0])
+        assert series.percentile(0) == series.minimum == 3.0
+        assert series.percentile(100) == series.maximum == 9.0
+
+    def test_rank_boundaries_round_up(self):
+        # Nearest-rank with ceil: pct exactly on a rank boundary selects
+        # that rank; one epsilon above tips to the next sample.
+        series = SampleSeries(values=[10.0, 20.0, 30.0, 40.0])
+        assert series.percentile(25) == 10.0
+        assert series.percentile(25.0001) == 20.0
+        assert series.percentile(50) == 20.0
+        assert series.percentile(50.0001) == 30.0
+        assert series.percentile(75) == 30.0
+        assert series.percentile(75.0001) == 40.0
+
+    def test_unsorted_input_is_ranked_by_value(self):
+        series = SampleSeries(values=[5.0, 1.0, 4.0, 2.0, 3.0])
+        assert [series.percentile(p) for p in (20, 40, 60, 80, 100)] == [
+            1.0,
+            2.0,
+            3.0,
+            4.0,
+            5.0,
+        ]
+
+    def test_duplicate_values(self):
+        series = SampleSeries(values=[1.0, 1.0, 1.0, 9.0])
+        assert series.percentile(75) == 1.0
+        assert series.percentile(76) == 9.0
+
+
+class TestStatsSerialization:
+    @staticmethod
+    def _populated():
+        stats = Stats()
+        stats.record_transmission(654, 100)   # aodv
+        stats.record_transmission(5060, 200)  # sip
+        stats.increment("zeta", 3)
+        stats.increment("alpha")
+        stats.sample("delay", 1.5)
+        stats.sample("delay", 0.5)
+        stats.sample("mos", 4.2)
+        return stats
+
+    def test_round_trip_preserves_everything(self):
+        original = self._populated()
+        restored = Stats.from_dict(original.to_dict())
+        assert restored.summary() == original.summary()
+        assert restored.to_dict() == original.to_dict()
+        # raw sample order survives, not just the aggregates
+        assert restored.samples["delay"].values == [1.5, 0.5]
+
+    def test_to_dict_is_schema_versioned_and_sorted(self):
+        data = self._populated().to_dict()
+        assert data["schema_version"] == Stats.SCHEMA_VERSION
+        assert list(data["counters"]) == ["alpha", "zeta"]
+        assert list(data["traffic"]) == sorted(data["traffic"])
+        assert list(data["samples"]) == ["delay", "mos"]
+
+    def test_to_dict_json_round_trips(self):
+        import json
+
+        data = self._populated().to_dict()
+        assert json.loads(json.dumps(data, sort_keys=True)) == data
+
+    def test_from_dict_rejects_unknown_schema_version(self):
+        data = self._populated().to_dict()
+        data["schema_version"] = Stats.SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema_version"):
+            Stats.from_dict(data)
+        with pytest.raises(ValueError, match="schema_version"):
+            Stats.from_dict({})
+
+    def test_round_trip_of_empty_stats(self):
+        restored = Stats.from_dict(Stats().to_dict())
+        assert restored.summary() == Stats().summary()

@@ -30,6 +30,9 @@ python -m repro.faults smoke
 echo "== repro.overload smoke (graceful shedding + byte-identical reruns) =="
 python -m repro.overload smoke
 
+echo "== repro.metrics smoke (byte-identical exports + no observer effect) =="
+python -m repro.metrics smoke
+
 echo "== kernel parity smoke (calendar vs heap, byte-identical traces) =="
 parity_dir=$(mktemp -d)
 trap 'rm -rf "$parity_dir"' EXIT
