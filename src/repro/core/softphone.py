@@ -17,7 +17,18 @@ from typing import Callable
 from repro.core.config import SipAccount
 from repro.core.connection import backoff_with_jitter, node_backoff_rng
 from repro.netsim.node import Node
-from repro.rtp.codecs import Codec, G711, H263, codec_for_payload_type
+from repro.errors import CodecError
+from repro.rtp.codecs import (
+    AUXILIARY_PAYLOAD_TYPES,
+    COMFORT_NOISE_PAYLOAD_TYPE,
+    Codec,
+    G711,
+    H263,
+    RED_PAYLOAD_TYPE,
+    TELEPHONE_EVENT_PAYLOAD_TYPE,
+    codec_for_payload_type,
+)
+from repro.rtp.jitter import JitterPolicy
 from repro.rtp.quality import CallQuality
 from repro.rtp.session import RtpSession
 from repro.sip.pidf import AVAILABLE, OFFLINE, ON_THE_PHONE, PresenceStatus
@@ -123,6 +134,10 @@ class SoftPhone:
         answer_delay: float = 0.5,
         media: bool = True,
         playout_delay: float = 0.06,
+        jitter_policy: JitterPolicy | None = None,
+        redundancy: int = 0,
+        vad: bool = False,
+        dtmf: bool = False,
         video: bool = False,
         video_codec: Codec = H263,
         retry_on_503: bool = False,
@@ -136,6 +151,13 @@ class SoftPhone:
         self.answer_delay = answer_delay
         self.media = media
         self.playout_delay = playout_delay
+        #: Media-plane knobs (§5j): playout policy, RFC 2198 depth, silence
+        #: suppression, DTMF capability. Redundancy is used on a call only
+        #: when both ends negotiated the red payload type in SDP.
+        self.jitter_policy = jitter_policy
+        self.redundancy = redundancy
+        self.vad = vad
+        self.dtmf = dtmf
         self.video = video
         self.video_codec = video_codec
         #: Honor 503 Retry-After from an overloaded proxy by redialing (and
@@ -278,7 +300,7 @@ class SoftPhone:
         sdp = SessionDescription.offer(
             self.ua.transport.address,
             _next_media_port(self.node),
-            payload_types=[self.codec.payload_type],
+            payload_types=[self.codec.payload_type, *self._extension_payloads()],
             video_port=_next_media_port(self.node) if self.video else None,
             video_payloads=[self.video_codec.payload_type] if self.video else None,
         )
@@ -404,6 +426,7 @@ class SoftPhone:
                     self.ua.transport.address,
                     _next_media_port(self.node),
                     video_port=_next_media_port(self.node) if wants_video else None,
+                    accept_payloads=frozenset(self._extension_payloads()),
                 )
             call.answer(sdp)
 
@@ -429,6 +452,17 @@ class SoftPhone:
             call.hangup()
 
     # -- media ------------------------------------------------------------------------------
+    def _extension_payloads(self) -> list[int]:
+        """Auxiliary payload types this phone advertises in SDP (§5j)."""
+        extra = []
+        if self.redundancy > 0:
+            extra.append(RED_PAYLOAD_TYPE)
+        if self.vad:
+            extra.append(COMFORT_NOISE_PAYLOAD_TYPE)
+        if self.dtmf:
+            extra.append(TELEPHONE_EVENT_PAYLOAD_TYPE)
+        return extra
+
     def _start_media(self, call: Call, record: CallRecord) -> None:
         if not self.media or call.local_sdp is None:
             return
@@ -437,23 +471,40 @@ class SoftPhone:
         if remote is None or audio is None:
             return
         codec = self.codec
-        offered = call.local_sdp.audio.payload_types
-        if offered:
+        local_payloads = audio.payload_types
+        codec_payloads = [pt for pt in local_payloads if pt not in AUXILIARY_PAYLOAD_TYPES]
+        if codec_payloads:
             try:
-                codec = codec_for_payload_type(offered[0])
+                codec = codec_for_payload_type(codec_payloads[0])
             except Exception:
                 codec = self.codec
+        # RFC 2198 only runs when both sides listed the red payload type.
+        remote_audio = call.remote_sdp.audio if call.remote_sdp is not None else None
+        remote_payloads = remote_audio.payload_types if remote_audio is not None else []
+        red_negotiated = (
+            RED_PAYLOAD_TYPE in local_payloads and RED_PAYLOAD_TYPE in remote_payloads
+        )
         session = RtpSession(
             self.node,
             local_port=audio.port,
             remote=remote,
             codec=codec,
             playout_delay=self.playout_delay,
+            jitter_policy=self.jitter_policy,
+            redundancy=self.redundancy if red_negotiated else 0,
+            vad=self.vad,
         )
         session.start_sending()
         self._media_sessions[call.call_id] = session
         call.on_media = self._on_media_update
         self._start_video(call)
+
+    def send_dtmf(self, call: Call, digits: str, duration: float = 0.08) -> None:
+        """Send DTMF ``digits`` on an established call's media stream."""
+        session = self._media_sessions.get(call.call_id)
+        if session is None:
+            raise CodecError("call has no active media session for DTMF")
+        session.send_dtmf(digits, duration)
 
     def _start_video(self, call: Call) -> None:
         if not self.video or call.local_sdp is None or call.remote_sdp is None:
@@ -519,7 +570,12 @@ class SoftPhone:
         session.stop_sending()
         talk_time = record.talk_time
         expected = None
-        if talk_time is not None and talk_time > 0:
+        # With silence suppression the sender legitimately skips frames, so
+        # the talk-time estimate would miscount silence as loss; the
+        # sequence-number range (the session's own estimate) stays correct
+        # because comfort-noise and event frames consume sequence numbers.
+        # session.vad covers our sender; received CN frames reveal the peer's.
+        if talk_time is not None and talk_time > 0 and not session.vad and session.cn_received == 0:
             expected = max(1, int(talk_time / session.codec.frame_interval) - 1)
         if session.packets_received > 0:
             record.quality = session.quality(expected_override=expected)

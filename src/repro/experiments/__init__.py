@@ -17,6 +17,7 @@ E3        :func:`convergence_table`                    registration availability
 E4        :func:`gateway_table`                        gateway + Internet calls
 E5        :func:`scalability_table`                    stated future work
 E6        :func:`voice_quality_table`                  MOS vs hops/loss
+M1        :func:`media_quality_table`                  media stacks vs GE loss (§5j)
 T1        :func:`interop_table`                        section 3.2 providers
 F6        :func:`footprint_table`                      section 4 deployment
 A1        :func:`ablation_discovery_table`             discovery scheme ablation
@@ -45,6 +46,7 @@ from repro.experiments.discovery import (
     run_discovery_workload,
 )
 from repro.experiments.footprint import footprint_table, module_inventory_table
+from repro.experiments.media import media_quality_table, run_media_point
 from repro.experiments.gateway import gateway_table, interop_table
 from repro.experiments.services import services_table
 from repro.experiments.tables import Table
@@ -62,7 +64,9 @@ __all__ = [
     "footprint_table",
     "gateway_table",
     "interop_table",
+    "media_quality_table",
     "module_inventory_table",
+    "run_media_point",
     "overhead_vs_nodes_table",
     "run_city_workload",
     "run_discovery_workload",

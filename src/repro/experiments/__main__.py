@@ -25,6 +25,7 @@ from repro.experiments import (
     footprint_table,
     gateway_table,
     interop_table,
+    media_quality_table,
     module_inventory_table,
     overhead_vs_nodes_table,
     scalability_table,
@@ -72,6 +73,15 @@ ARTIFACTS = {
         dict(hop_counts=(1, 2, 4), loss_rates=(0.0, 0.15), talk_time=8.0),
         dict(hop_counts=(1, 2, 4, 6), loss_rates=(0.0, 0.05, 0.15)),
         voice_quality_table,
+    ),
+    "M1": (
+        "media stacks (codec x redundancy x playout) under GE fading",
+        dict(codecs=("PCMU",), ge_points=((1.2, 0.05),), talk_time=8.0),
+        dict(
+            codecs=("PCMU", "G729"),
+            ge_points=((2.0, 0.04), (1.2, 0.05)),
+        ),
+        media_quality_table,
     ),
     "A1": (
         "discovery scheme ablation",

@@ -17,6 +17,7 @@ Three pieces (see DESIGN.md §5e):
 from repro.faults.channel import (
     AsymmetricLossChannel,
     GilbertElliottChannel,
+    TimedGilbertElliottChannel,
     UniformLossChannel,
 )
 from repro.faults.injector import FaultInjector
@@ -46,6 +47,7 @@ __all__ = [
     "NodeCrash",
     "NodeRestart",
     "RecoveryReport",
+    "TimedGilbertElliottChannel",
     "UniformLossChannel",
     "analyze_recovery",
     "describe_event",

@@ -148,6 +148,16 @@ def _rtp_backlog_max(scenario: "ManetScenario") -> int:
     return worst
 
 
+def _rtp_playout_delay_max(scenario: "ManetScenario") -> float:
+    worst = 0.0
+    for phone in scenario.phones.values():
+        for session in phone.media_sessions:
+            delay = session.jitter_buffer.playout_delay
+            if delay > worst:
+                worst = delay
+    return worst
+
+
 def _sim_pending(scenario: "ManetScenario") -> int:
     return scenario.sim.pending_events
 
@@ -222,6 +232,10 @@ def install_scenario_instruments(
           help="Frames buffered awaiting playout, all jitter buffers")
     gauge("rtp.jitter.backlog.max", fn=partial(_rtp_backlog_max, scenario),
           help="Deepest single jitter buffer")
+    gauge("rtp.playout_delay.max", fn=partial(_rtp_playout_delay_max, scenario),
+          help="Largest playout delay any live jitter buffer targets (s)")
+    gauge("rtp.recovered", fn=partial(_stats_counter, scenario, "rtp.recovered"),
+          help="Frames rebuilt from RFC 2198 redundancy (Stats mirror)")
     gauge("sim.pending_events", fn=partial(_sim_pending, scenario),
           help="Live scheduled events in the kernel")
     gauge("sim.events_processed", fn=partial(_sim_processed, scenario),

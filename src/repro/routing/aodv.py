@@ -60,9 +60,20 @@ class Aodv(RoutingProtocol):
     ALLOWED_HELLO_LOSS = 2
     MAX_BUFFERED_PACKETS = 32
 
-    def __init__(self, node: Node, use_hello: bool = False) -> None:
+    def __init__(
+        self,
+        node: Node,
+        use_hello: bool = False,
+        net_diameter: int | None = None,
+    ) -> None:
         super().__init__(node)
         self.use_hello = use_hello
+        # RFC 3561 sizes the RREQ retry timeout for the *configured* network
+        # diameter. The class default (35 hops -> 2.8 s) is absurdly long for
+        # a small testbed: one lost RREQ turns a 50 ms fade into a multi-
+        # second blackout. Scenarios that know their diameter pass it here.
+        diameter = net_diameter if net_diameter is not None else self.NET_DIAMETER
+        self.net_traversal_time = 2 * self.NODE_TRAVERSAL_TIME * diameter
         self.seq_no = 1
         self._rreq_id = 0
         self._rreq_seen: dict[tuple[str, int], float] = {}
@@ -153,7 +164,7 @@ class Aodv(RoutingProtocol):
                 retry=retry,
             )
         self.send_control(BROADCAST, encode_aodv(rreq), ttl=self.NET_DIAMETER)
-        timeout = self.NET_TRAVERSAL_TIME * (2**retry)
+        timeout = self.net_traversal_time * (2**retry)
         pending = self._pending.get(dest)
         if pending is not None:
             pending.retries = retry

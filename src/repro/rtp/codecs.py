@@ -66,6 +66,25 @@ CODECS_BY_PAYLOAD_TYPE = {
 }
 CODECS_BY_NAME = {codec.name: codec for codec in (G711, G711A, G729, H263)}
 
+# -- non-codec payload types carried in the same RTP streams (§5j) ----------
+
+#: RFC 3389 comfort noise (static payload type 13): one noise-level byte
+#: sent at each talk-spurt end so the far side can fill silence.
+COMFORT_NOISE_PAYLOAD_TYPE = 13
+
+#: RFC 2198 redundant audio ("red"). Dynamic payload type by the RFC; this
+#: simulation pins it to 96, the first dynamic slot, on both ends.
+RED_PAYLOAD_TYPE = 96
+
+#: RFC 2833/4733 telephone events (DTMF). Pinned to the conventional 101.
+TELEPHONE_EVENT_PAYLOAD_TYPE = 101
+
+#: Payload types that ride inside a voice stream without being codecs —
+#: SDP negotiation must not mistake them for the stream's codec.
+AUXILIARY_PAYLOAD_TYPES = frozenset(
+    {COMFORT_NOISE_PAYLOAD_TYPE, RED_PAYLOAD_TYPE, TELEPHONE_EVENT_PAYLOAD_TYPE}
+)
+
 
 def codec_for_payload_type(payload_type: int) -> Codec:
     codec = CODECS_BY_PAYLOAD_TYPE.get(payload_type)

@@ -71,3 +71,125 @@ def extract_send_time(payload: bytes) -> float:
     if len(payload) < _TS.size:
         raise CodecError("payload too short for a send timestamp")
     return _TS.unpack_from(payload)[0]
+
+
+# ---------------------------------------------------------------------------
+# RFC 2198 redundant audio ("red")
+# ---------------------------------------------------------------------------
+#
+# A red payload is a list of blocks, oldest secondary first, primary last.
+# Each secondary carries a 4-byte header (F=1 | 7-bit PT | 14-bit timestamp
+# offset | 10-bit length); the primary carries a 1-byte header (F=0 | PT)
+# and runs to the end of the payload.
+
+_RED_MAX_TS_OFFSET = (1 << 14) - 1
+_RED_MAX_BLOCK_LEN = (1 << 10) - 1
+
+
+@dataclass(frozen=True)
+class RedBlock:
+    """One encoding inside an RFC 2198 payload (primary or secondary)."""
+
+    payload_type: int
+    timestamp_offset: int  # RTP timestamp units behind the packet timestamp
+    payload: bytes
+
+
+def encode_red(blocks: list[RedBlock]) -> bytes:
+    """Encode blocks (oldest secondary first, primary LAST) per RFC 2198."""
+    if not blocks:
+        raise CodecError("red payload needs at least a primary block")
+    parts = []
+    for block in blocks[:-1]:
+        if not 0 <= block.timestamp_offset <= _RED_MAX_TS_OFFSET:
+            raise CodecError(
+                f"red timestamp offset {block.timestamp_offset} exceeds 14 bits"
+            )
+        if len(block.payload) > _RED_MAX_BLOCK_LEN:
+            raise CodecError(f"red block of {len(block.payload)} bytes exceeds 10 bits")
+        word = (
+            (1 << 31)
+            | ((block.payload_type & 0x7F) << 24)
+            | (block.timestamp_offset << 10)
+            | len(block.payload)
+        )
+        parts.append(word.to_bytes(4, "big"))
+    primary = blocks[-1]
+    parts.append(bytes([primary.payload_type & 0x7F]))
+    parts.extend(block.payload for block in blocks)
+    return b"".join(parts)
+
+
+def decode_red(data: bytes) -> list[RedBlock]:
+    """Decode an RFC 2198 payload into blocks; the primary is LAST."""
+    headers: list[tuple[int, int, int]] = []  # (payload_type, ts_offset, length)
+    offset = 0
+    while True:
+        if offset >= len(data):
+            raise CodecError("red payload truncated in its block headers")
+        first = data[offset]
+        if not first & 0x80:  # F=0: the primary's 1-byte header
+            headers.append((first & 0x7F, 0, -1))
+            offset += 1
+            break
+        if offset + 4 > len(data):
+            raise CodecError("red payload truncated in a secondary header")
+        word = int.from_bytes(data[offset : offset + 4], "big")
+        headers.append(((word >> 24) & 0x7F, (word >> 10) & 0x3FFF, word & 0x3FF))
+        offset += 4
+    blocks: list[RedBlock] = []
+    for payload_type, ts_offset, length in headers:
+        if length < 0:  # primary: everything that remains
+            payload = data[offset:]
+            offset = len(data)
+        else:
+            if offset + length > len(data):
+                raise CodecError("red payload shorter than its block headers claim")
+            payload = data[offset : offset + length]
+            offset += length
+        blocks.append(RedBlock(payload_type, ts_offset, payload))
+    return blocks
+
+
+# ---------------------------------------------------------------------------
+# RFC 3389 comfort noise and RFC 2833 telephone events
+# ---------------------------------------------------------------------------
+
+_DTMF = struct.Struct("!BBH")
+
+#: DTMF digit -> RFC 2833 event code.
+DTMF_EVENTS = {
+    **{str(d): d for d in range(10)},
+    "*": 10,
+    "#": 11,
+    "A": 12,
+    "B": 13,
+    "C": 14,
+    "D": 15,
+}
+_DTMF_DIGITS = {code: digit for digit, code in DTMF_EVENTS.items()}
+
+
+def make_comfort_noise_payload(level: int = 70) -> bytes:
+    """RFC 3389 CN payload: one absolute noise-level byte (-dBov)."""
+    return bytes([level & 0x7F])
+
+
+def make_dtmf_payload(digit: str, duration_units: int, end: bool = True, volume: int = 10) -> bytes:
+    """RFC 2833 telephone-event payload for one DTMF digit."""
+    event = DTMF_EVENTS.get(digit)
+    if event is None:
+        raise CodecError(f"not a DTMF digit: {digit!r}")
+    flags = (0x80 if end else 0) | (volume & 0x3F)
+    return _DTMF.pack(event, flags, duration_units & 0xFFFF)
+
+
+def decode_dtmf_payload(data: bytes) -> tuple[str, bool, int]:
+    """Decode a telephone-event payload -> (digit, end, duration_units)."""
+    if len(data) < _DTMF.size:
+        raise CodecError("telephone-event payload too short")
+    event, flags, duration = _DTMF.unpack_from(data)
+    digit = _DTMF_DIGITS.get(event)
+    if digit is None:
+        raise CodecError(f"unknown telephone event code {event}")
+    return digit, bool(flags & 0x80), duration

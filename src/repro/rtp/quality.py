@@ -65,11 +65,18 @@ class CallQuality:
     effective_loss_ratio: float
     r: float
     mos: float
+    playout_delay: float = 0.0
+    packets_recovered: int = 0
 
     @property
     def is_acceptable(self) -> bool:
         """MOS >= 3.6 is the usual 'users satisfied' threshold."""
         return self.mos >= 3.6
+
+    @property
+    def mouth_to_ear_delay(self) -> float:
+        """Network delay plus jitter-buffer playout delay — the Id input."""
+        return self.mean_delay + self.playout_delay
 
     def summary(self) -> str:
         return (
@@ -87,15 +94,25 @@ def score_stream(
     packets_played: int,
     delays: list[float],
     jitter: float,
+    playout_delay: float = 0.0,
+    packets_recovered: int = 0,
 ) -> CallQuality:
-    """Build a :class:`CallQuality` from receiver-side measurements."""
+    """Build a :class:`CallQuality` from receiver-side measurements.
+
+    ``packets_received`` must count *unique* network receipts (duplicates
+    excluded) or loss is understated. ``packets_played`` includes frames
+    rebuilt from RFC 2198 redundancy, so the effective loss the E-model
+    sees is already recovery-adjusted; ``packets_recovered`` is carried
+    through for reporting. The jitter buffer's ``playout_delay`` is part
+    of the mouth-to-ear path, so it feeds the Id delay impairment on top
+    of the measured network delay.
+    """
     expected = max(packets_expected, packets_received, 1)
     network_loss = 1.0 - packets_received / expected
-    effective_loss = 1.0 - packets_played / expected
+    effective_loss = max(0.0, 1.0 - packets_played / expected)
     mean_delay = sum(delays) / len(delays) if delays else 0.0
     max_delay = max(delays) if delays else 0.0
-    # The jitter buffer adds its playout delay to the mouth-to-ear path.
-    r = r_factor(codec, mean_delay, effective_loss)
+    r = r_factor(codec, mean_delay + playout_delay, effective_loss)
     return CallQuality(
         codec_name=codec.name,
         packets_expected=expected,
@@ -105,7 +122,9 @@ def score_stream(
         max_delay=max_delay,
         mean_jitter=jitter,
         network_loss_ratio=max(0.0, network_loss),
-        effective_loss_ratio=max(0.0, effective_loss),
+        effective_loss_ratio=effective_loss,
         r=r,
         mos=mos_from_r(r),
+        playout_delay=playout_delay,
+        packets_recovered=packets_recovered,
     )

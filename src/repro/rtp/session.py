@@ -4,24 +4,77 @@ An :class:`RtpSession` binds one local UDP port, streams codec frames to
 the negotiated remote endpoint and measures the inbound stream (delay from
 embedded send timestamps, RFC 3550 interarrival jitter, losses, and
 jitter-buffer late drops), producing a :class:`CallQuality` score.
+
+Beyond plain voice the session speaks three media-plane extensions (§5j):
+
+* **RFC 2198 redundancy** (``redundancy=N``): every voice packet carries
+  the previous N frames as secondary encodings under the "red" payload
+  type; the receiver rebuilds lost primaries from later arrivals, counted
+  separately from network receipts.
+* **Silence suppression** (``vad=True``): a two-state talk-spurt model
+  driven by a private seeded RNG gates the sender. A spurt end emits one
+  RFC 3389 comfort-noise frame; a spurt start sets the RTP marker bit so
+  the receiver's jitter buffer re-anchors its playout schedule.
+* **RFC 2833 telephone events**: :meth:`RtpSession.send_dtmf` interleaves
+  DTMF digit packets with the voice stream.
+
+All session randomness (initial sequence number, talk-spurt durations)
+comes from private integer-seeded RNGs pinned by (scenario seed, node id,
+port) — never from the shared ``sim.rng`` — so constructing a media
+session does not perturb the global seeded stream.
 """
 
 from __future__ import annotations
 
-from repro.errors import CodecError
+import random
+from collections import deque
+
+from repro.errors import CodecError, ConfigError
 from repro.globalstate import registry
 from repro.netsim.node import Node
-from repro.rtp.codecs import Codec, G711
-from repro.rtp.jitter import JitterBuffer
+from repro.rtp.codecs import (
+    COMFORT_NOISE_PAYLOAD_TYPE,
+    Codec,
+    G711,
+    RED_PAYLOAD_TYPE,
+    TELEPHONE_EVENT_PAYLOAD_TYPE,
+)
+from repro.rtp.jitter import DUPLICATE, JitterBuffer, JitterPolicy, _seq_delta
 from repro.rtp.packet import (
+    DTMF_EVENTS,
+    RedBlock,
     RtpPacket,
+    decode_dtmf_payload,
+    decode_red,
     decode_rtp,
+    encode_red,
     extract_send_time,
+    make_comfort_noise_payload,
+    make_dtmf_payload,
     make_voice_payload,
 )
 from repro.rtp.quality import CallQuality, score_stream
 
 _ssrc_counter = registry.counter("rtp.session.ssrc", start=0x1000)
+
+#: Most secondary encodings one packet may carry (bandwidth sanity bound).
+MAX_REDUNDANCY = 4
+
+#: Talk-spurt on/off model: exponential holding times, telephony-ish means.
+_TALK_SPURT_MEAN = 1.0
+_SILENCE_MEAN = 1.5
+
+
+def _session_rng(node: Node, local_port: int, salt: int) -> random.Random:
+    """A private RNG pinned by (scenario seed, node id, port, salt).
+
+    Same rationale as ``node_backoff_rng``: drawing from the shared
+    ``sim.rng`` would make media-session construction order perturb every
+    later draw in the scenario. Integer arithmetic only, so the seed is
+    stable across interpreter processes.
+    """
+    seed = ((node.sim.seed * 1_000_003 + node.node_id) * 131_071 + local_port) * 8_191 + salt
+    return random.Random(seed)
 
 
 class RtpSession:
@@ -34,28 +87,57 @@ class RtpSession:
         remote: tuple[str, int] | None = None,
         codec: Codec = G711,
         playout_delay: float = 0.06,
+        jitter_policy: JitterPolicy | None = None,
+        redundancy: int = 0,
+        vad: bool = False,
     ) -> None:
+        if not 0 <= redundancy <= MAX_REDUNDANCY:
+            raise ConfigError(f"redundancy must be 0..{MAX_REDUNDANCY}, got {redundancy}")
         self.node = node
         self.sim = node.sim
         self.codec = codec
         self.local_port = local_port
         self.remote = remote
+        self.redundancy = redundancy
+        self.vad = vad
         self.ssrc = _ssrc_counter.next()
         self._socket = node.bind(local_port, self._on_datagram)
         self._send_task = None
-        self._sequence = self.sim.rng.randrange(0, 0x8000) if hasattr(self.sim, "rng") else 0
+        self._sequence = _session_rng(node, local_port, 0).randrange(0, 0x8000)
         self._timestamp = 0
         self.packets_sent = 0
+        # Sender-side talk-spurt / redundancy state.
+        self._spurt_rng = _session_rng(node, local_port, 1)
+        self._talking = True
+        self._phase_until = 0.0
+        self._marker_pending = True
+        self._cn_due = False
+        self._red_history: deque[tuple[int, bytes]] = deque(maxlen=max(1, redundancy))
         # Receiver-side measurement state.
         self.jitter_buffer = JitterBuffer(
-            frame_interval=codec.frame_interval, playout_delay=playout_delay
+            frame_interval=codec.frame_interval,
+            playout_delay=playout_delay,
+            policy=jitter_policy,
         )
         self.delays: list[float] = []
+        self.dtmf_received: list[str] = []
+        self.cn_received = 0
         self._jitter = 0.0
         self._last_transit: float | None = None
-        self._first_seq: int | None = None
-        self._highest_seq: int | None = None
+        self._first_ext: int | None = None
+        self._ext_high: int | None = None
         self.closed = False
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                "rtp.session_open",
+                node.ip,
+                port=local_port,
+                codec=codec.name,
+                policy=self.jitter_buffer.policy.name,  # type: ignore[union-attr]
+                redundancy=redundancy,
+                vad=vad,
+            )
 
     # -- sender ----------------------------------------------------------------
     def start_sending(self, remote: tuple[str, int] | None = None) -> None:
@@ -64,6 +146,10 @@ class RtpSession:
         if self.remote is None:
             raise CodecError("RTP session has no remote endpoint to stream to")
         if self._send_task is None:
+            if self.vad:
+                self._phase_until = self.sim.now + self._spurt_rng.expovariate(
+                    1.0 / _TALK_SPURT_MEAN
+                )
             self._send_task = self.sim.schedule_periodic(
                 self.codec.frame_interval, self._send_frame
             )
@@ -78,19 +164,103 @@ class RtpSession:
             self.closed = True
             self.stop_sending()
             self._socket.close()
+            tracer = self.sim.tracer
+            if tracer is not None:
+                stats = self.jitter_buffer.stats
+                tracer.emit(
+                    "rtp.session_close",
+                    self.node.ip,
+                    port=self.local_port,
+                    sent=self.packets_sent,
+                    received=stats.unique,
+                    played=stats.played,
+                    recovered=stats.recovered,
+                )
+
+    def send_dtmf(self, digits: str, duration: float = 0.08) -> None:
+        """Send DTMF ``digits`` as RFC 2833 telephone events, one per ``duration``."""
+        if self.remote is None:
+            raise CodecError("RTP session has no remote endpoint for DTMF")
+        for digit in digits:
+            if digit not in DTMF_EVENTS:
+                raise CodecError(f"not a DTMF digit: {digit!r}")
+        for index, digit in enumerate(digits):
+            self.sim.schedule(index * duration, self._send_dtmf_event, digit, duration)
+
+    def _send_dtmf_event(self, digit: str, duration: float) -> None:
+        if self.closed or self.remote is None:
+            return
+        units = int(duration * self.codec.sample_rate)
+        self._transmit(
+            TELEPHONE_EVENT_PAYLOAD_TYPE,
+            make_dtmf_payload(digit, units, end=True),
+            marker=True,
+        )
 
     def _send_frame(self) -> None:
         assert self.remote is not None
+        now = self.sim.now
+        self._update_spurt(now)
+        if self._talking:
+            self._send_voice(now)
+        elif self._cn_due:
+            self._cn_due = False
+            self._transmit(
+                COMFORT_NOISE_PAYLOAD_TYPE, make_comfort_noise_payload(), marker=False
+            )
+        # The RTP timestamp tracks the sampling clock, so it advances every
+        # frame interval even across suppressed (silent) frames.
+        self._timestamp = (self._timestamp + self.codec.timestamp_increment) & 0xFFFFFFFF
+
+    def _update_spurt(self, now: float) -> None:
+        if not self.vad:
+            return
+        while now >= self._phase_until:
+            start = self._phase_until
+            self._talking = not self._talking
+            mean = _TALK_SPURT_MEAN if self._talking else _SILENCE_MEAN
+            self._phase_until = start + self._spurt_rng.expovariate(1.0 / mean)
+            if self._talking:
+                self._marker_pending = True
+                self._red_history.clear()
+            else:
+                self._cn_due = True
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.emit(
+                    "rtp.spurt", self.node.ip, port=self.local_port, talking=self._talking
+                )
+
+    def _send_voice(self, now: float) -> None:
+        payload = make_voice_payload(self.codec.frame_bytes, now)
+        marker = self._marker_pending
+        self._marker_pending = False
+        if self.redundancy > 0:
+            blocks = [
+                RedBlock(
+                    payload_type=self.codec.payload_type,
+                    timestamp_offset=(self._timestamp - past_ts) & 0xFFFFFFFF,
+                    payload=past_payload,
+                )
+                for past_ts, past_payload in self._red_history
+            ]
+            blocks.append(RedBlock(self.codec.payload_type, 0, payload))
+            self._red_history.append((self._timestamp, payload))
+            self._transmit(RED_PAYLOAD_TYPE, encode_red(blocks), marker)
+        else:
+            self._transmit(self.codec.payload_type, payload, marker)
+
+    def _transmit(self, payload_type: int, payload: bytes, marker: bool) -> None:
+        assert self.remote is not None
         packet = RtpPacket(
-            payload_type=self.codec.payload_type,
+            payload_type=payload_type,
             sequence=self._sequence,
             timestamp=self._timestamp,
             ssrc=self.ssrc,
-            payload=make_voice_payload(self.codec.frame_bytes, self.sim.now),
-            marker=self.packets_sent == 0,
+            payload=payload,
+            marker=marker,
         )
         self._sequence = (self._sequence + 1) & 0xFFFF
-        self._timestamp = (self._timestamp + self.codec.timestamp_increment) & 0xFFFFFFFF
         self.packets_sent += 1
         self._socket.send(self.remote[0], self.remote[1], packet.encode())
 
@@ -104,37 +274,115 @@ class RtpSession:
             self.node.stats.increment("rtp.bad_packets")
             return
         now = self.sim.now
+        if packet.payload_type == RED_PAYLOAD_TYPE:
+            self._receive_red(packet, now)
+        elif packet.payload_type == COMFORT_NOISE_PAYLOAD_TYPE:
+            self._receive_cn(packet, now)
+        elif packet.payload_type == TELEPHONE_EVENT_PAYLOAD_TYPE:
+            self._receive_dtmf(packet, now)
+        else:
+            self._receive_voice(packet, packet.payload, now)
+
+    def _receive_red(self, packet: RtpPacket, now: float) -> None:
         try:
-            send_time = extract_send_time(packet.payload)
+            blocks = decode_red(packet.payload)
+        except CodecError:
+            self.node.stats.increment("rtp.bad_packets")
+            return
+        self._receive_voice(packet, blocks[-1].payload, now)
+        increment = self.codec.timestamp_increment
+        for block in blocks[:-1]:
+            if increment <= 0 or block.timestamp_offset <= 0:
+                continue
+            steps = round(block.timestamp_offset / increment)
+            sequence = (packet.sequence - steps) & 0xFFFF
+            if self.jitter_buffer.on_recovered(sequence, now):
+                self.node.stats.increment("rtp.recovered")
+                tracer = self.sim.tracer
+                if tracer is not None:
+                    tracer.emit(
+                        "rtp.recovered", self.node.ip, port=self.local_port, seq=sequence
+                    )
+
+    def _receive_voice(self, packet: RtpPacket, payload: bytes, now: float) -> None:
+        self._note_sequence(packet.sequence)
+        delay_before = self.jitter_buffer.playout_delay
+        outcome = self.jitter_buffer.classify(
+            packet.sequence, now, jitter=self._jitter, marker=packet.marker
+        )
+        if self.jitter_buffer.playout_delay != delay_before:
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.emit(
+                    "rtp.retarget",
+                    self.node.ip,
+                    port=self.local_port,
+                    playout_delay=self.jitter_buffer.playout_delay,
+                )
+        if outcome == DUPLICATE:
+            return
+        try:
+            send_time = extract_send_time(payload)
         except CodecError:
             send_time = now
-        delay = max(0.0, now - send_time)
-        self.delays.append(delay)
-        # RFC 3550 interarrival jitter estimate.
+        self.delays.append(max(0.0, now - send_time))
+        # RFC 3550 interarrival jitter estimate (unique receipts only).
         transit = now - packet.timestamp / self.codec.sample_rate
         if self._last_transit is not None:
             deviation = abs(transit - self._last_transit)
             self._jitter += (deviation - self._jitter) / 16.0
         self._last_transit = transit
-        if self._first_seq is None:
-            self._first_seq = packet.sequence
-            self._highest_seq = packet.sequence
-        else:
-            assert self._highest_seq is not None
-            if _seq_greater(packet.sequence, self._highest_seq):
-                self._highest_seq = packet.sequence
-        self.jitter_buffer.on_packet(packet.sequence, now)
+
+    def _receive_cn(self, packet: RtpPacket, now: float) -> None:
+        self._note_sequence(packet.sequence)
+        if self.jitter_buffer.classify(packet.sequence, now, jitter=self._jitter) != DUPLICATE:
+            self.cn_received += 1
+            self.node.stats.increment("rtp.cn_frames")
+
+    def _receive_dtmf(self, packet: RtpPacket, now: float) -> None:
+        self._note_sequence(packet.sequence)
+        if self.jitter_buffer.classify(packet.sequence, now, jitter=self._jitter) == DUPLICATE:
+            return
+        try:
+            digit, end, _duration = decode_dtmf_payload(packet.payload)
+        except CodecError:
+            self.node.stats.increment("rtp.bad_packets")
+            return
+        if end:
+            self.dtmf_received.append(digit)
+            self.node.stats.increment("rtp.dtmf_events")
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.emit("rtp.dtmf", self.node.ip, port=self.local_port, digit=digit)
+
+    def _note_sequence(self, sequence: int) -> None:
+        """Track the received sequence range in extended (unwrapped) form."""
+        if self._ext_high is None:
+            self._first_ext = self._ext_high = sequence
+            return
+        ext = self._ext_high + _seq_delta(sequence, self._ext_high & 0xFFFF)
+        if ext > self._ext_high:
+            self._ext_high = ext
+        assert self._first_ext is not None
+        if ext < self._first_ext:
+            self._first_ext = ext
 
     # -- measurement ---------------------------------------------------------------
     @property
     def packets_received(self) -> int:
-        return self.jitter_buffer.stats.received
+        """Distinct frames received from the network (duplicates excluded)."""
+        return self.jitter_buffer.stats.unique
 
     @property
     def packets_expected(self) -> int:
-        if self._first_seq is None or self._highest_seq is None:
+        if self._first_ext is None or self._ext_high is None:
             return 0
-        return ((self._highest_seq - self._first_seq) & 0xFFFF) + 1
+        return self._ext_high - self._first_ext + 1
+
+    @property
+    def packets_recovered(self) -> int:
+        """Lost primaries rebuilt from RFC 2198 redundancy."""
+        return self.jitter_buffer.stats.recovered
 
     @property
     def interarrival_jitter(self) -> float:
@@ -150,6 +398,8 @@ class RtpSession:
             packets_played=self.jitter_buffer.stats.played,
             delays=self.delays,
             jitter=self._jitter,
+            playout_delay=self.jitter_buffer.playout_delay,
+            packets_recovered=self.packets_recovered,
         )
 
 

@@ -31,10 +31,19 @@ from repro.netsim.simulator import Simulator
 from repro.netsim.stats import Stats
 from repro.metrics import instruments as metrics_instruments
 from repro.metrics import scraper as metrics_scraper
+from repro.routing.aodv import Aodv
+from repro.rtp.jitter import AdaptivePlayoutPolicy, JitterPolicy
 from repro.sip.ua import CallState
 from repro.trace import collector as trace_collector
 
 DEFAULT_DOMAIN = "voicehoc.ch"
+
+
+def _media_policy(name: str) -> JitterPolicy:
+    """Resolve a ``media_jitter_policy`` config name to a policy instance."""
+    if name == "adaptive":
+        return AdaptivePlayoutPolicy()
+    raise ConfigError(f"unknown media_jitter_policy {name!r}")
 
 
 @dataclass
@@ -44,6 +53,9 @@ class ManetConfig:
     n_nodes: int = 5
     topology: str = "chain"  # chain | grid | random
     routing: str = "aodv"  # aodv | olsr
+    # RREQ-retry horizon: RFC 3561 NET_DIAMETER override for small networks
+    # (None keeps the protocol default of 35 hops -> 2.8 s retry timeout).
+    aodv_net_diameter: int | None = None
     seed: int = 1
     tx_range: float = 150.0
     spacing: float = 100.0  # chain/grid spacing
@@ -69,6 +81,10 @@ class ManetConfig:
     metrics: bool = False  # attach a repro.metrics scraper + standard gauges
     metrics_interval: float = 1.0  # sim-seconds between metric snapshots
     faults: FaultPlan | None = None  # timed fault events + optional channel model
+    # -- media plane (§5j; defaults keep phone SDP and schedules bit-identical)
+    media_jitter_policy: str = "fixed"  # fixed | adaptive playout-delay policy
+    media_redundancy: int = 0  # RFC 2198 depth every phone offers (0 = off)
+    media_vad: bool = False  # silence suppression + comfort-noise frames
     # -- overload control (§5f; defaults keep every path bit-identical) -------
     tx_queue_capacity: int | None = None  # bounded per-node TX queue (None = unbounded)
     tx_queue_policy: str = "tail-drop"  # tail-drop | oldest-first
@@ -109,6 +125,10 @@ class ManetScenario:
         )
         if base.faults is not None and base.faults.channel is not None:
             self.medium.channel = base.faults.channel
+            # Time-domain channels (sojourns in sim-seconds) need the clock.
+            bind = getattr(base.faults.channel, "bind_clock", None)
+            if bind is not None:
+                bind(self.sim)
         self.cloud: InternetCloud | None = None
         self.providers: dict[str, SipProvider] = {}
         needs_cloud = base.internet_gateways > 0 or base.providers or base.strict_providers
@@ -135,7 +155,7 @@ class ManetScenario:
         self.stacks: list[SiphocStack] = [
             SiphocStack(
                 node,
-                routing=base.routing,
+                routing=self._make_routing(node),
                 cloud=self.cloud,
                 config=base.siphoc,
                 run_connection_provider=base.connection_provider,
@@ -172,6 +192,14 @@ class ManetScenario:
         if base.faults is not None:
             self.faults = FaultInjector(self, base.faults)
         self._started = False
+
+    def _make_routing(self, node: Node) -> str | Aodv:
+        """Routing argument for one stack: the config string, or a tuned
+        AODV instance when ``aodv_net_diameter`` overrides the RFC default
+        (the string path stays byte-identical for every existing scenario)."""
+        if self.config.routing == "aodv" and self.config.aodv_net_diameter is not None:
+            return Aodv(node, net_diameter=self.config.aodv_net_diameter)
+        return self.config.routing
 
     def _place_nodes(self) -> None:
         topology = self.config.topology
@@ -238,7 +266,10 @@ class ManetScenario:
             # cloud attached at build time has to be reinstalled.
             node.set_default_route("wired", self.cloud.send, priority=0)
         stack = SiphocStack(
-            node, routing=self.config.routing, cloud=self.cloud, config=self.config.siphoc
+            node,
+            routing=self._make_routing(node),
+            cloud=self.cloud,
+            config=self.config.siphoc,
         )
         self.stacks[index] = stack
         if self._started:
@@ -274,6 +305,16 @@ class ManetScenario:
         account: SipAccount | None = None,
         **kwargs,
     ) -> SoftPhone:
+        # Scenario-wide media knobs become per-phone defaults; explicit
+        # kwargs win. Injected before the spec is recorded so phones
+        # rebuilt after an injected crash keep the same media config.
+        config = self.config
+        if config.media_jitter_policy != "fixed":
+            kwargs.setdefault("jitter_policy", _media_policy(config.media_jitter_policy))
+        if config.media_redundancy:
+            kwargs.setdefault("redundancy", config.media_redundancy)
+        if config.media_vad:
+            kwargs.setdefault("vad", config.media_vad)
         phone = self.stacks[node_index].add_phone(
             account=account, username=None if account else username, domain=domain, **kwargs
         )

@@ -9,6 +9,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import SipParseError
+from repro.rtp.codecs import AUXILIARY_PAYLOAD_TYPES
 
 CRLF = "\r\n"
 
@@ -16,8 +17,11 @@ CRLF = "\r\n"
 WELL_KNOWN_PAYLOADS = {
     0: "PCMU/8000",
     8: "PCMA/8000",
+    13: "CN/8000",
     18: "G729/8000",
     34: "H263/90000",
+    96: "red/8000",
+    101: "telephone-event/8000",
 }
 
 
@@ -108,16 +112,36 @@ class SessionDescription:
         )
 
     def answer(
-        self, address: str, audio_port: int, video_port: int | None = None
+        self,
+        address: str,
+        audio_port: int,
+        video_port: int | None = None,
+        accept_payloads: frozenset[int] | set[int] = frozenset(),
     ) -> "SessionDescription":
         """Answer this offer per RFC 3264: every offered stream appears in
         the answer, with port 0 for streams we decline (e.g. video when the
-        answering phone has no camera)."""
+        answering phone has no camera).
+
+        The answer takes the offer's first *codec* payload per stream.
+        Auxiliary payloads (redundancy, comfort noise, telephone events)
+        are echoed only when both offered and listed in
+        ``accept_payloads`` — that is the capability negotiation the media
+        plane keys off (e.g. RFC 2198 is used only when both ends accept
+        the red payload type).
+        """
         if not self.media:
             raise SipParseError("cannot answer an SDP offer without media")
         media = []
         for offered in self.media:
-            chosen = offered.payload_types[:1] or [0]
+            codecs = [
+                pt for pt in offered.payload_types if pt not in AUXILIARY_PAYLOAD_TYPES
+            ]
+            chosen = codecs[:1] or [0]
+            chosen += [
+                pt
+                for pt in offered.payload_types
+                if pt in AUXILIARY_PAYLOAD_TYPES and pt in accept_payloads
+            ]
             if offered.media == "audio":
                 port = audio_port
             elif offered.media == "video":

@@ -149,3 +149,36 @@ class TestSequenceNumbers:
         daemon = daemons[0]
         assert daemon.next_rreq_id() >= 1 << 24
         assert daemon.next_rreq_id() > 1 << 24
+
+
+class TestNetDiameter:
+    def test_default_traversal_time_matches_rfc3561(self):
+        sim, stats, nodes, daemons = build_aodv_chain(1)
+        # NET_TRAVERSAL_TIME = 2 * NODE_TRAVERSAL_TIME * NET_DIAMETER
+        assert daemons[0].net_traversal_time == pytest.approx(
+            2 * Aodv.NODE_TRAVERSAL_TIME * Aodv.NET_DIAMETER
+        )
+
+    def test_override_shrinks_the_rreq_retry_horizon(self):
+        sim = Simulator(seed=1)
+        medium = WirelessMedium(sim, stats=Stats(), tx_range=150.0)
+        node = Node(sim, 0, manet_ip(0), stats=medium.stats)
+        node.join_medium(medium)
+        daemon = Aodv(node, net_diameter=2)
+        assert daemon.net_traversal_time == pytest.approx(
+            2 * Aodv.NODE_TRAVERSAL_TIME * 2
+        )
+
+    def test_small_diameter_retries_sooner(self):
+        """With the RFC horizon a lone node waits 2.8 s before each retry;
+        with diameter 2 all retries fit well inside a second."""
+        sim = Simulator(seed=1)
+        stats = Stats()
+        medium = WirelessMedium(sim, stats=stats, tx_range=150.0)
+        node = Node(sim, 0, manet_ip(0), stats=stats)
+        node.join_medium(medium)
+        daemon = Aodv(node, net_diameter=2)
+        daemon.start()
+        node.send_udp("192.168.0.200", 9000, 9000, b"void")
+        sim.run(1.0)
+        assert stats.count("aodv.rreq_originated") == 1 + Aodv.RREQ_RETRIES

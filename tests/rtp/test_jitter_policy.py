@@ -1,0 +1,262 @@
+"""Unit tests for playout-delay policies, dedup windowing, and wraparound."""
+
+import pytest
+
+from repro.rtp import AdaptivePlayoutPolicy, FixedPlayoutPolicy, JitterBuffer
+from repro.rtp.jitter import DUPLICATE, LATE, PLAYED, _seq_delta
+from repro.rtp.session import _seq_greater
+
+
+def make(playout=0.06, policy=None, window=None):
+    kwargs = {} if window is None else {"dedup_window": window}
+    return JitterBuffer(
+        frame_interval=0.02, playout_delay=playout, policy=policy, **kwargs
+    )
+
+
+class TestPolicies:
+    def test_fixed_policy_target_ignores_jitter(self):
+        policy = FixedPlayoutPolicy(0.08)
+        assert policy.initial_delay() == 0.08
+        assert policy.target_delay(0.5) == 0.08
+        assert not policy.adaptive
+
+    def test_adaptive_target_is_clamped(self):
+        policy = AdaptivePlayoutPolicy()
+        assert policy.adaptive
+        assert policy.target_delay(0.0) == policy.min_delay
+        assert policy.target_delay(10.0) == policy.max_delay
+        mid = policy.target_delay(0.02)
+        assert mid == pytest.approx(policy.headroom + policy.multiplier * 0.02)
+
+    def test_adaptive_start_delay_is_clamped_too(self):
+        assert AdaptivePlayoutPolicy(start_delay=5.0).initial_delay() == 0.24
+        assert AdaptivePlayoutPolicy(start_delay=0.001).initial_delay() == 0.04
+
+    def test_buffer_defaults_to_fixed_policy(self):
+        buffer = make(playout=0.09)
+        assert buffer.policy.name == "fixed"
+        assert buffer.playout_delay == 0.09
+
+
+class TestMarkerReanchor:
+    def test_marker_reanchors_after_silence_gap(self):
+        """A talk-spurt start must restart the playout clock (any policy)."""
+        buffer = make()
+        assert buffer.classify(0, 0.0) == PLAYED
+        # 10 s of silence: without the marker this frame is hopelessly late.
+        assert buffer.classify(1, 10.0, marker=True) == PLAYED
+        assert buffer.stats.retargets == 1
+
+    def test_fixed_policy_keeps_its_delay_at_markers(self):
+        buffer = make(playout=0.06)
+        buffer.classify(0, 0.0)
+        buffer.classify(1, 10.0, jitter=0.03, marker=True)
+        assert buffer.playout_delay == 0.06
+
+    def test_without_marker_the_gap_frame_is_late(self):
+        buffer = make()
+        buffer.classify(0, 0.0)
+        assert buffer.classify(1, 10.0) == LATE
+
+
+class TestAdaptiveBuffer:
+    def test_marker_retargets_delay_from_jitter(self):
+        buffer = make(policy=AdaptivePlayoutPolicy())
+        buffer.classify(0, 0.0)
+        buffer.classify(1, 10.0, jitter=0.02, marker=True)
+        assert buffer.playout_delay == pytest.approx(0.01 + 6.0 * 0.02)
+        assert buffer.stats.retargets == 1
+
+    def test_late_streak_triggers_resync_without_markers(self):
+        buffer = make(policy=AdaptivePlayoutPolicy(resync_after=2))
+        buffer.classify(0, 0.0)
+        assert buffer.classify(1, 5.0) == LATE
+        assert buffer.classify(2, 5.02) == LATE  # streak reaches resync_after
+        assert buffer.classify(3, 5.04, jitter=0.01) == PLAYED
+        assert buffer.playout_delay == pytest.approx(0.01 + 6.0 * 0.01)
+        assert buffer.stats.retargets == 1
+
+    def test_fixed_policy_never_resyncs_on_late_streaks(self):
+        buffer = make()
+        buffer.classify(0, 0.0)
+        for index in range(1, 8):
+            assert buffer.classify(index, 5.0 + index * 0.02) == LATE
+        assert buffer.stats.retargets == 0
+
+    def test_delay_shrinks_back_after_a_spike(self):
+        """A delay spike must not pin a marker-less stream at max_delay."""
+        policy = AdaptivePlayoutPolicy(shrink_after=3)
+        buffer = make(policy=policy)
+        buffer.classify(0, 0.0)
+        buffer.classify(1, 0.02, jitter=0.035, marker=True)  # spike: 0.22 s
+        assert buffer.playout_delay == pytest.approx(0.22)
+        # Jitter settles; three consecutive on-time frames walk it back down.
+        buffer.classify(2, 0.04, jitter=0.0)
+        buffer.classify(3, 0.06, jitter=0.0)
+        assert buffer.playout_delay == pytest.approx(0.22)
+        buffer.classify(4, 0.08, jitter=0.0)
+        assert buffer.playout_delay == policy.min_delay
+        assert buffer.stats.retargets == 2
+
+    def test_late_frame_resets_the_shrink_streak(self):
+        policy = AdaptivePlayoutPolicy(shrink_after=2, resync_after=10)
+        buffer = make(policy=policy)
+        buffer.classify(0, 0.0)
+        buffer.classify(1, 0.02, jitter=0.035, marker=True)
+        buffer.classify(2, 0.04, jitter=0.0)  # slack streak 1
+        buffer.classify(3, 9.0, jitter=0.0)  # late: streak resets
+        buffer.classify(4, 0.08, jitter=0.0)  # on time again: streak restarts at 1
+        assert buffer.playout_delay == pytest.approx(0.22)
+
+    def test_no_shrink_when_target_is_near_current_delay(self):
+        buffer = make(policy=AdaptivePlayoutPolicy(shrink_after=1))
+        buffer.classify(0, 0.0)  # initial delay 0.06
+        # Target 0.05 is less than one frame below 0.06: stay put.
+        for index in range(1, 6):
+            buffer.classify(index, index * 0.02, jitter=(0.05 - 0.01) / 6.0)
+        assert buffer.playout_delay == pytest.approx(0.06)
+        assert buffer.stats.retargets == 0
+
+
+class TestDedupWindow:
+    def test_stale_replay_outside_window_is_rejected(self):
+        """Regression: the pre-window buffer wholesale-cleared its dedup set,
+        after which any replayed sequence was accepted and counted played."""
+        buffer = make(window=16)
+        for index in range(101):
+            buffer.classify(index, index * 0.02)
+        played = buffer.stats.played
+        assert buffer.classify(50, 2.5) == DUPLICATE
+        assert buffer.stats.played == played
+        assert buffer.stats.duplicates == 1
+
+    def test_window_boundary(self):
+        buffer = make(window=16)
+        for index in range(101):
+            buffer.classify(index, index * 0.02)
+        # ext_high is 100: 84 sits exactly on the floor (stale), 85 is the
+        # oldest in-window entry and is caught by the seen-set instead.
+        assert buffer.classify(84, 2.5) == DUPLICATE
+        assert buffer.classify(85, 2.5) == DUPLICATE
+        assert buffer.stats.duplicates == 2
+
+    def test_unseen_in_window_sequence_is_admitted(self):
+        buffer = make(window=16)
+        for index in range(0, 20, 2):  # leave odd sequence numbers open
+            buffer.classify(index, index * 0.02)
+        assert buffer.classify(13, 13 * 0.02) == PLAYED
+
+    def test_seen_set_stays_bounded(self):
+        buffer = make(window=16)
+        for index in range(10_000):
+            buffer.classify(index & 0xFFFF, index * 0.02)
+        assert len(buffer._seen) <= 2 * 16 + 1
+
+    def test_replay_rejected_beyond_the_old_clear_point(self):
+        """The old buffer cleared its set at 65536 entries; a replay right
+        after the clear point replayed into the stream as a fresh frame."""
+        buffer = make()
+        for index in range(65_600):
+            assert buffer.classify(index & 0xFFFF, index * 0.02) == PLAYED
+        # Sequence 0 re-unwraps to extended 65536 — seen, so a duplicate.
+        assert buffer.classify(0, 65_600 * 0.02) == DUPLICATE
+        assert buffer.stats.duplicates == 1
+        assert buffer.stats.played == 65_600
+
+
+class TestRecoveredAccounting:
+    def test_recovered_counts_in_played_not_received(self):
+        buffer = make()
+        buffer.classify(0, 0.0)
+        assert buffer.on_recovered(1, 0.02)
+        stats = buffer.stats
+        assert stats.played == 2 and stats.recovered == 1
+        assert stats.received == 1 and stats.unique == 1
+
+    def test_recovery_anchors_an_empty_buffer(self):
+        buffer = make()
+        assert buffer.on_recovered(7, 1.0)
+        assert buffer.classify(8, 1.02) == PLAYED
+
+    def test_recovered_copy_of_seen_frame_is_ignored(self):
+        buffer = make()
+        buffer.classify(0, 0.0)
+        buffer.classify(1, 0.02)
+        assert not buffer.on_recovered(1, 0.04)
+        assert buffer.stats.recovered == 0
+
+    def test_recovered_too_late_counts_separately(self):
+        buffer = make()
+        buffer.classify(0, 0.0)
+        assert not buffer.on_recovered(1, 5.0)
+        stats = buffer.stats
+        assert stats.recovered == 0 and stats.recovered_late == 1
+        assert stats.played == 1
+
+    def test_invariant_with_recovery(self):
+        import random
+
+        buffer = make(playout=0.03)
+        rng = random.Random(11)
+        for index in range(300):
+            if rng.random() < 0.2:
+                buffer.on_recovered(index, index * 0.02 + rng.uniform(0, 0.05))
+            else:
+                buffer.classify(index, index * 0.02 + rng.uniform(0, 0.05))
+        stats = buffer.stats
+        assert (
+            stats.played - stats.recovered + stats.late_dropped + stats.duplicates
+            == stats.received
+        )
+
+
+class TestLateRatio:
+    def test_empty_buffer_has_zero_ratio(self):
+        assert make().stats.late_ratio == 0.0
+
+    def test_ratio_counts_raw_receipts(self):
+        buffer = make()
+        buffer.classify(0, 0.0)
+        buffer.classify(1, 5.0)
+        buffer.classify(1, 5.1)  # duplicate still counts in the denominator
+        assert buffer.stats.late_ratio == pytest.approx(1 / 3)
+
+
+class TestWraparound:
+    @pytest.mark.parametrize(
+        "sequence,anchor,expected",
+        [
+            (5, 5, 0),
+            (6, 5, 1),
+            (4, 5, -1),
+            (0x0003, 0xFFFE, 5),
+            (0xFFFE, 0x0003, -5),
+            (0, 0x8000, -0x8000),
+            (0x8000, 0, -0x8000),
+            (0x7FFF, 0, 0x7FFF),
+        ],
+    )
+    def test_seq_delta(self, sequence, anchor, expected):
+        assert _seq_delta(sequence, anchor) == expected
+
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            (1, 0, True),
+            (0, 1, False),
+            (5, 5, False),
+            (0, 0xFFFF, True),  # wrapped: 0 is newer than 65535
+            (0xFFFF, 0, False),
+            (0x7FFF, 0, True),
+            (0x8000, 0, False),  # exactly half the space away: not newer
+        ],
+    )
+    def test_seq_greater(self, a, b, expected):
+        assert _seq_greater(a, b) is expected
+
+    def test_offsets_survive_many_rollovers(self):
+        buffer = make()
+        for index in range(0x2_0000 + 10):  # two full 16-bit rollovers
+            assert buffer.classify(index & 0xFFFF, index * 0.02) == PLAYED
+        assert buffer.stats.played == 0x2_0000 + 10

@@ -25,6 +25,39 @@ class TestOfferAnswer:
             empty.answer("2.2.2.2", 16384)
 
 
+class TestAuxiliaryNegotiation:
+    """RFC 2198 / CN / telephone-event payloads ride on SDP capability
+    negotiation: the answer echoes an auxiliary payload only when it was
+    both offered and locally accepted."""
+
+    def test_accepted_auxiliary_payload_is_echoed(self):
+        offer = SessionDescription.offer("10.0.0.1", 16384, payload_types=[0, 96, 101])
+        answer = offer.answer("10.0.0.2", 16500, accept_payloads={96})
+        assert answer.audio.payload_types == [0, 96]
+
+    def test_unaccepted_auxiliary_payload_is_dropped(self):
+        offer = SessionDescription.offer("10.0.0.1", 16384, payload_types=[0, 96])
+        answer = offer.answer("10.0.0.2", 16500)
+        assert answer.audio.payload_types == [0]
+
+    def test_accepting_an_unoffered_payload_does_not_invent_it(self):
+        offer = SessionDescription.offer("10.0.0.1", 16384, payload_types=[0])
+        answer = offer.answer("10.0.0.2", 16500, accept_payloads={96, 101})
+        assert answer.audio.payload_types == [0]
+
+    def test_auxiliary_payloads_never_win_the_codec_slot(self):
+        offer = SessionDescription.offer("10.0.0.1", 16384, payload_types=[96, 18, 0])
+        answer = offer.answer("10.0.0.2", 16500, accept_payloads={96})
+        assert answer.audio.payload_types == [18, 96]
+
+    def test_offer_carries_rtpmaps_for_auxiliaries(self):
+        offer = SessionDescription.offer("10.0.0.1", 16384, payload_types=[0, 96, 13, 101])
+        maps = parse_sdp(offer.serialize()).audio.rtpmaps()
+        assert maps[96] == "red/8000"
+        assert maps[13] == "CN/8000"
+        assert maps[101] == "telephone-event/8000"
+
+
 class TestCodec:
     def test_round_trip(self):
         offer = SessionDescription.offer("10.0.0.1", 20000, payload_types=[0, 8])

@@ -17,6 +17,7 @@ from repro.experiments import (
     convergence_table,
     footprint_table,
     gateway_table,
+    media_quality_table,
     module_inventory_table,
     overhead_vs_nodes_table,
     run_city_workload,
@@ -25,6 +26,7 @@ from repro.experiments import (
     setup_delay_table,
     voice_quality_table,
 )
+from repro.experiments.media import run_media_point
 from repro.experiments.city import city_area
 
 
@@ -104,6 +106,36 @@ class TestInfrastructureExperiments:
     def test_module_inventory_nonempty(self):
         table = module_inventory_table()
         assert len(table.rows) >= 8
+
+
+class TestMediaExperiment:
+    def test_media_point_scores_a_call(self):
+        quality, fade = run_media_point(
+            policy="adaptive",
+            redundancy=2,
+            mean_good=5.0,
+            mean_bad=0.03,
+            hops=1,
+            talk_time=4.0,
+        )
+        assert fade == pytest.approx(0.03 / 5.03)
+        assert quality is not None
+        assert 1.0 <= quality.mos <= 4.5
+        assert quality.packets_recovered >= 0
+
+    def test_media_table_minimal_shape(self):
+        table = media_quality_table(
+            codecs=("PCMU",),
+            redundancies=(0,),
+            policies=("fixed",),
+            ge_points=((5.0, 0.03),),
+            hops=1,
+            talk_time=4.0,
+        )
+        row = table.to_dicts()[0]
+        assert row["codec"] == "PCMU" and row["policy"] == "fixed"
+        assert row["fade_pct"] == pytest.approx(0.6)
+        assert not math.isnan(row["mos"])
 
 
 class TestCityExperiment:

@@ -20,6 +20,7 @@ class TestTaxonomy:
             "olsr",
             "slp",
             "sip",
+            "rtp",
             "tunnel",
             "gateway",
             "mobility",

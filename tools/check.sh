@@ -33,6 +33,9 @@ python -m repro.overload smoke
 echo "== repro.metrics smoke (byte-identical exports + no observer effect) =="
 python -m repro.metrics smoke
 
+echo "== repro.rtp smoke (MOS recovery contrast + inert media defaults) =="
+python -m repro.rtp smoke
+
 echo "== kernel parity smoke (calendar vs heap, byte-identical traces) =="
 parity_dir=$(mktemp -d)
 trap 'rm -rf "$parity_dir"' EXIT
