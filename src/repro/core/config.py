@@ -59,6 +59,42 @@ class SipAccount:
 
 
 @dataclass
+class HandoverConfig:
+    """Knobs for the §5k mid-call multihomed handover policy.
+
+    Attach one to :attr:`SiphocConfig.handover` to enable handover on a
+    node; the default ``None`` keeps the policy entirely out of the event
+    schedule, so every existing byte-identity gate is unaffected.
+    """
+
+    #: Inbound RTP silence (seconds) that triggers a handover probe.
+    rtp_silence_timeout: float = 1.0
+    #: How long the wireless neighbor set must stay empty before the
+    #: neighbor-loss trigger fires (hysteresis window, seconds).
+    neighbor_loss_window: float = 1.0
+    #: Period of the trigger-probe loop (seconds).
+    probe_interval: float = 0.25
+    #: Base delay of the jittered migration retry backoff (seconds).
+    retry_base: float = 0.25
+    #: Backoff ceiling (seconds).
+    max_backoff: float = 2.0
+    #: A migration attempt with no answer after this long is retried.
+    attempt_timeout: float = 2.0
+    #: Total time budget per call before the policy gives up and tears the
+    #: call down cleanly instead of wedging (seconds).
+    giveup_after: float = 6.0
+    #: How long after a successful migration to watch for inbound media
+    #: before giving up on the media_restored measurement (seconds).
+    media_watch_window: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.probe_interval <= 0:
+            raise ConfigError("handover probe_interval must be positive")
+        if self.giveup_after <= 0:
+            raise ConfigError("handover giveup_after must be positive")
+
+
+@dataclass
 class SiphocConfig:
     """Knobs for the per-node SIPHoc component stack."""
 
@@ -84,3 +120,5 @@ class SiphocConfig:
     #: Cap on concurrently active tunnel leases at a gateway this node runs
     #: (None = unlimited); excess CTRL_REQUESTs are NAKed to retry later.
     gateway_max_leases: int | None = None
+    #: Mid-call multihomed handover policy (§5k); None = disabled.
+    handover: HandoverConfig | None = None

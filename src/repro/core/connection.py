@@ -10,12 +10,19 @@ connectivity (the SIPHoc proxy's WAN leg) subscribe to the callbacks.
 from __future__ import annotations
 
 import random
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.manet_slp import ManetSlp
 from repro.core.tunnel import TunnelClient
 from repro.netsim.node import Node
+from repro.sip.ua import Call, CallState
+from repro.sip.uri import SipUri
 from repro.slp.service import SERVICE_GATEWAY, ServiceEntry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.config import HandoverConfig
+    from repro.core.softphone import SoftPhone
+    from repro.core.stack import SiphocStack
 
 ConnectivityCallback = Callable[[str], None]
 
@@ -101,7 +108,22 @@ class ConnectionProvider:
         self._teardown()
 
     # -- polling --------------------------------------------------------------
+    def _prune_failed(self) -> None:
+        """Drop expired cooldown entries on every lookup.
+
+        Without this the map only shrank inside ``_on_gateways`` — which
+        never runs while connected or while lookups come back empty — so
+        expired entries accumulated for the life of a long run.
+        """
+        if not self._failed:
+            return
+        now = self.sim.now
+        self._failed = {
+            ip: until for ip, until in self._failed.items() if until > now
+        }
+
     def _poll(self) -> None:
+        self._prune_failed()
         if self._connecting:
             return
         if self.connected:
@@ -118,10 +140,7 @@ class ConnectionProvider:
             return  # stopped (or crashed) since the lookup was launched
         if self._connecting or self.connected or not entries:
             return
-        now = self.sim.now
-        self._failed = {
-            ip: until for ip, until in self._failed.items() if until > now
-        }
+        self._prune_failed()
         # Prefer gateways that haven't recently failed on us; if every
         # candidate is cooling down, fall back to all of them rather than
         # staying offline (the cooldown is a preference, not a blacklist).
@@ -196,3 +215,319 @@ class ConnectionProvider:
         self._connecting = False
         if tunnel is not None and not tunnel.closed:
             tunnel.disconnect()
+
+
+class _HandoverAttempt:
+    """Book-keeping for one call currently being migrated."""
+
+    __slots__ = (
+        "phone", "call", "cause", "mode", "started_at", "last_rx_before",
+        "attempts", "seq", "resolved", "completed_at",
+    )
+
+    def __init__(
+        self,
+        phone: "SoftPhone",
+        call: Call,
+        cause: str,
+        mode: str,
+        started_at: float,
+        last_rx_before: float,
+    ) -> None:
+        self.phone = phone
+        self.call = call
+        self.cause = cause
+        self.mode = mode
+        self.started_at = started_at
+        self.last_rx_before = last_rx_before
+        self.attempts = 0
+        self.seq = 0
+        self.resolved = False
+        self.completed_at: float | None = None
+
+
+class HandoverPolicy:
+    """Mid-call multihomed handover: move live calls off a dying radio (§5k).
+
+    Layered on the same failure machinery as the gateway failover above:
+    the private integer-seeded RNG for retry jitter, exponential backoff
+    with a ceiling, and explicit give-up instead of wedging. Three triggers
+    decide that the MANET path is gone:
+
+    * ``interface_down`` — the radio was administratively disabled (fault
+      injection, driver death); fires synchronously from the interface
+      observer hook.
+    * ``neighbor_loss`` — the wireless neighbor set has been empty for a
+      full hysteresis window (the node drifted past the mesh horizon).
+    * ``rtp_silence`` — an established call stopped receiving media for
+      ``rtp_silence_timeout`` (covers asymmetric failures the first two
+      miss).
+
+    Migration is make-before-break when the wired uplink is already up,
+    break-before-make otherwise (the policy raises the uplink first). Each
+    attempt is a handover re-INVITE (:meth:`repro.sip.ua.Call.migrate`)
+    re-anchoring signaling and media to the wired address while the RTP
+    session object — SSRC, sequence space, jitter buffer, E-model
+    accounting — survives untouched. Attempts that get no answer within
+    ``attempt_timeout`` retry with jittered backoff until ``giveup_after``,
+    then the call is torn down cleanly with a BYE.
+    """
+
+    def __init__(self, node: Node, stack: "SiphocStack", config: "HandoverConfig") -> None:
+        self.node = node
+        self.stack = stack
+        self.sim = node.sim
+        self.config = config
+        self._probe_task = None
+        self._observing = False
+        self._active: dict[str, _HandoverAttempt] = {}
+        self._migrated: set[str] = set()
+        self._abandoned: set[str] = set()
+        self._last_neighbor_at = self.sim.now
+        self._rng = node_backoff_rng(node, salt=5)
+        self.attempted = 0
+        self.succeeded = 0
+        self.abandoned = 0
+        #: Seconds from trigger to confirmed re-INVITE, per success.
+        self.latencies: list[float] = []
+        #: Seconds of inbound-media gap spanning each survived outage.
+        self.media_gaps: list[float] = []
+
+    @property
+    def active_attempts(self) -> int:
+        return len(self._active)
+
+    def start(self) -> "HandoverPolicy":
+        if self._probe_task is None:
+            self._probe_task = self.sim.schedule_periodic(
+                self.config.probe_interval, self._probe
+            )
+        if not self._observing:
+            self.node.on_interface_change.append(self._on_interface_change)
+            self._observing = True
+        self._last_neighbor_at = self.sim.now
+        for phone in self.stack.phones:
+            self.adopt_phone(phone)
+        return self
+
+    def stop(self) -> None:
+        if self._probe_task is not None:
+            self._probe_task.stop()
+            self._probe_task = None
+        if self._observing:
+            try:
+                self.node.on_interface_change.remove(self._on_interface_change)
+            except ValueError:
+                pass
+            self._observing = False
+        self._active.clear()
+
+    def adopt_phone(self, phone: "SoftPhone") -> None:
+        """Advertise the phone's multihomed fallback contact, if any."""
+        if self.node.wired_ip is not None:
+            ua = phone.ua
+            ua.alt_contact_uri = SipUri(
+                user=ua.aor.user, host=self.node.wired_ip, port=ua.transport.port
+            )
+
+    # -- triggers -------------------------------------------------------------
+    def _on_interface_change(self, name: str, up: bool) -> None:
+        if name != "wireless":
+            return
+        if up:
+            self._last_neighbor_at = self.sim.now
+        else:
+            self._trigger("interface_down")
+
+    def _probe(self) -> None:
+        now = self.sim.now
+        config = self.config
+        medium = self.node.medium
+        if medium is not None and self.node.interface_up("wireless"):
+            neighbors = [n for n in medium.neighbors(self.node) if n.up]
+            if neighbors:
+                self._last_neighbor_at = now
+            elif now - self._last_neighbor_at >= config.neighbor_loss_window:
+                self._trigger("neighbor_loss")
+        for phone, call in self._candidate_calls():
+            session = phone.media_session(call.call_id)
+            if session is None:
+                continue
+            last = session.last_rx_at
+            if last is None:
+                last = call.established_at
+            if last is not None and now - last >= config.rtp_silence_timeout:
+                self._begin(phone, call, "rtp_silence")
+
+    def _candidate_calls(self) -> list[tuple["SoftPhone", Call]]:
+        out = []
+        for phone in self.stack.phones:
+            for call in phone.ua.active_calls:
+                if (
+                    call.state is CallState.ESTABLISHED
+                    and call.call_id not in self._active
+                    and call.call_id not in self._migrated
+                    and call.call_id not in self._abandoned
+                ):
+                    out.append((phone, call))
+        return out
+
+    def _trigger(self, cause: str) -> None:
+        for phone, call in self._candidate_calls():
+            self._begin(phone, call, cause)
+
+    # -- migration ------------------------------------------------------------
+    def _begin(self, phone: "SoftPhone", call: Call, cause: str) -> None:
+        now = self.sim.now
+        wired = self.node.interfaces.get("wired")
+        mode = (
+            "make-before-break"
+            if wired is not None and wired.up
+            else "break-before-make"
+        )
+        self.attempted += 1
+        self.node.stats.increment("handover.attempted")
+        self._emit("handover.trigger", call_id=call.call_id, cause=cause, mode=mode)
+        session = phone.media_session(call.call_id)
+        last_rx = session.last_rx_at if session is not None else None
+        if last_rx is None:
+            last_rx = call.established_at if call.established_at is not None else now
+        attempt = _HandoverAttempt(phone, call, cause, mode, now, last_rx)
+        self._active[call.call_id] = attempt
+        if self.node.wired_ip is None:
+            self._abandon(attempt, "no_uplink")
+            return
+        if wired is not None and not wired.up:
+            # Break-before-make: raise the second interface now.
+            self.node.set_interface_up("wired", True)
+        self._attempt(attempt)
+
+    def _attempt(self, attempt: _HandoverAttempt) -> None:
+        if attempt.call.call_id not in self._active:
+            return
+        if not attempt.call.is_active:
+            self._active.pop(attempt.call.call_id, None)
+            return
+        if self.sim.now - attempt.started_at >= self.config.giveup_after:
+            self._abandon(attempt, "deadline")
+            return
+        attempt.attempts += 1
+        attempt.seq += 1
+        attempt.resolved = False
+        seq = attempt.seq
+        self._emit(
+            "handover.attempt",
+            call_id=attempt.call.call_id,
+            attempt=attempt.attempts,
+        )
+
+        def on_result(success: bool) -> None:
+            if attempt.seq != seq or attempt.resolved:
+                return  # a newer attempt superseded this one
+            attempt.resolved = True
+            if success:
+                self._complete(attempt)
+            else:
+                self._retry(attempt)
+
+        attempt.phone.migrate_call(attempt.call, on_result)
+        self.sim.schedule(self.config.attempt_timeout, self._attempt_deadline, attempt, seq)
+
+    def _attempt_deadline(self, attempt: _HandoverAttempt, seq: int) -> None:
+        """A migration re-INVITE with no answer counts as a failed attempt.
+
+        The SIP client transaction would wait Timer F (32 s) before
+        reporting a timeout — far past any useful give-up deadline — so
+        the policy enforces its own, and ignores the stale transaction
+        callback when it eventually fires.
+        """
+        if attempt.seq != seq or attempt.resolved:
+            return
+        if attempt.call.call_id not in self._active:
+            return
+        attempt.resolved = True
+        self._retry(attempt)
+
+    def _retry(self, attempt: _HandoverAttempt) -> None:
+        if attempt.call.call_id not in self._active:
+            return
+        if not attempt.call.is_active:
+            self._active.pop(attempt.call.call_id, None)
+            return
+        if self.sim.now - attempt.started_at >= self.config.giveup_after:
+            self._abandon(attempt, "deadline")
+            return
+        delay = backoff_with_jitter(
+            self.config.retry_base, attempt.attempts, self.config.max_backoff, self._rng
+        )
+        self.sim.schedule(delay, self._attempt, attempt)
+
+    def _complete(self, attempt: _HandoverAttempt) -> None:
+        now = self.sim.now
+        latency = now - attempt.started_at
+        attempt.completed_at = now
+        self.succeeded += 1
+        self.latencies.append(latency)
+        self.node.stats.increment("handover.succeeded")
+        self._migrated.add(attempt.call.call_id)
+        self._active.pop(attempt.call.call_id, None)
+        self._emit(
+            "handover.complete",
+            call_id=attempt.call.call_id,
+            latency_ms=round(latency * 1000, 3),
+            attempts=attempt.attempts,
+            mode=attempt.mode,
+            cause=attempt.cause,
+        )
+        self._watch_media(attempt)
+
+    def _watch_media(self, attempt: _HandoverAttempt) -> None:
+        """Measure the media gap: inbound silence spanning the outage."""
+        session = attempt.phone.media_session(attempt.call.call_id)
+        completed_at = attempt.completed_at
+        if completed_at is None:
+            return
+        if (
+            session is not None
+            and session.last_rx_at is not None
+            and session.last_rx_at > completed_at
+        ):
+            gap = session.last_rx_at - attempt.last_rx_before
+            frame = getattr(session.codec, "frame_interval", 0.02) or 0.02
+            packets_lost = max(0, int(round(gap / frame)) - 1)
+            self.media_gaps.append(gap)
+            self.node.stats.increment("handover.media_restored")
+            self._emit(
+                "handover.media_restored",
+                call_id=attempt.call.call_id,
+                gap_ms=round(gap * 1000, 3),
+                packets_lost=packets_lost,
+            )
+            return
+        if self.sim.now - completed_at >= self.config.media_watch_window:
+            return
+        if not attempt.call.is_active:
+            return
+        self.sim.schedule(self.config.probe_interval, self._watch_media, attempt)
+
+    def _abandon(self, attempt: _HandoverAttempt, cause: str) -> None:
+        self.abandoned += 1
+        self.node.stats.increment("handover.abandoned")
+        self._abandoned.add(attempt.call.call_id)
+        self._active.pop(attempt.call.call_id, None)
+        self._emit(
+            "handover.abandoned",
+            call_id=attempt.call.call_id,
+            cause=cause,
+            attempts=attempt.attempts,
+        )
+        # Tear the call down cleanly instead of wedging: the BYE may well
+        # time out over the dead path, and transaction Timer F then moves
+        # the call to TERMINATED — media stops, records are finalized.
+        if attempt.call.is_active:
+            attempt.call.hangup()
+
+    def _emit(self, kind: str, **detail) -> None:
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(kind, self.node.ip or self.node.wired_ip or "", **detail)

@@ -34,6 +34,7 @@ from repro.rtp.session import RtpSession
 from repro.sip.pidf import AVAILABLE, OFFLINE, ON_THE_PHONE, PresenceStatus
 from repro.sip.sdp import SessionDescription
 from repro.sip.ua import Call, CallState, IncomingCall, OutgoingCall, Subscription, UserAgent
+from repro.sip.uri import SipUri
 
 
 class AnswerMode(enum.Enum):
@@ -198,6 +199,32 @@ class SoftPhone:
     def media_sessions(self) -> list[RtpSession]:
         """Open RTP sessions, one per active call leg (metrics gauge)."""
         return list(self._media_sessions.values())
+
+    def media_session(self, call_id: str) -> RtpSession | None:
+        """The RTP session of one call, if media is flowing (§5k policy)."""
+        return self._media_sessions.get(call_id)
+
+    def migrate_call(
+        self, call: Call, on_result: Callable[[bool], None] | None = None
+    ) -> None:
+        """Re-anchor an established call to this node's wired address (§5k).
+
+        Rewrites the UA's transport address (so the migration re-INVITE's
+        Via and Contact name the surviving interface), then delegates to
+        :meth:`repro.sip.ua.Call.migrate`. The RTP session keeps its
+        socket, SSRC and sequence space; only the remote endpoint moves,
+        via the usual ``on_media`` re-anchor hook.
+        """
+        new_address = self.node.wired_ip
+        if new_address is None or call.local_sdp is None:
+            if on_result is not None:
+                on_result(False)
+            return
+        self.ua.transport.address_override = new_address
+        self.ua.alt_contact_uri = SipUri(
+            user=self.ua.aor.user, host=new_address, port=self.ua.transport.port
+        )
+        call.migrate(call.local_sdp.with_address(new_address), on_result)
 
     # -- lifecycle ------------------------------------------------------------------
     def start(

@@ -9,7 +9,7 @@ laptops and iPAQ handhelds.
 from __future__ import annotations
 
 from repro.core.config import SipAccount, SiphocConfig
-from repro.core.connection import ConnectionProvider
+from repro.core.connection import ConnectionProvider, HandoverPolicy
 from repro.core.gateway import GatewayProvider
 from repro.core.handlers import make_handler
 from repro.core.manet_slp import ManetSlp
@@ -41,6 +41,7 @@ class SiphocStack:
         cloud: InternetCloud | None = None,
         config: SiphocConfig | None = None,
         run_connection_provider: bool = True,
+        gateway_role: bool | None = None,
     ) -> None:
         self.node = node
         self.sim = node.sim
@@ -65,12 +66,21 @@ class SiphocStack:
             dns_resolver=cloud.dns.resolve if cloud is not None else None,
         )
         self.gateway: GatewayProvider | None = None
-        if node.wired_ip is not None:
+        # gateway_role=None keeps the legacy inference (wired attachment =>
+        # gateway); multihomed phone nodes pass False so a wired uplink for
+        # §5k handover doesn't also advertise gateway.siphoc to the MANET.
+        is_gateway = gateway_role if gateway_role is not None else node.wired_ip is not None
+        if is_gateway:
+            if node.wired_ip is None:
+                raise ConfigError("a gateway node needs an Internet attachment")
             if cloud is None:
                 raise ConfigError("a gateway node needs the Internet cloud reference")
             self.gateway = GatewayProvider(
                 node, cloud, self.manet_slp, max_leases=self.config.gateway_max_leases
             )
+        self.handover: HandoverPolicy | None = None
+        if self.config.handover is not None:
+            self.handover = HandoverPolicy(node, self, self.config.handover)
         self.phones: list[SoftPhone] = []
         self._next_phone_port = 5070
         self._started = False
@@ -86,12 +96,16 @@ class SiphocStack:
             self.connection.start()
         if self.gateway is not None:
             self.gateway.start()
+        if self.handover is not None:
+            self.handover.start()
         return self
 
     def stop(self) -> None:
         if not self._started:
             return
         self._started = False
+        if self.handover is not None:
+            self.handover.stop()
         for phone in self.phones:
             phone.stop()
         if self.gateway is not None:
@@ -142,6 +156,8 @@ class SiphocStack:
         )
         self.proxy.configure_account(account)
         self.phones.append(phone)
+        if self.handover is not None:
+            self.handover.adopt_phone(phone)
         if self._started and register:
             phone.start()
         elif register:

@@ -18,6 +18,7 @@ E4        :func:`gateway_table`                        gateway + Internet calls
 E5        :func:`scalability_table`                    stated future work
 E6        :func:`voice_quality_table`                  MOS vs hops/loss
 M1        :func:`media_quality_table`                  media stacks vs GE loss (§5j)
+H1        :func:`handover_table`                       mid-call coverage loss (§5k)
 T1        :func:`interop_table`                        section 3.2 providers
 F6        :func:`footprint_table`                      section 4 deployment
 A1        :func:`ablation_discovery_table`             discovery scheme ablation
@@ -46,6 +47,7 @@ from repro.experiments.discovery import (
     run_discovery_workload,
 )
 from repro.experiments.footprint import footprint_table, module_inventory_table
+from repro.experiments.handover import handover_table, run_handover_trial
 from repro.experiments.media import media_quality_table, run_media_point
 from repro.experiments.gateway import gateway_table, interop_table
 from repro.experiments.services import services_table
@@ -63,10 +65,12 @@ __all__ = [
     "convergence_table",
     "footprint_table",
     "gateway_table",
+    "handover_table",
     "interop_table",
     "media_quality_table",
     "module_inventory_table",
     "run_media_point",
+    "run_handover_trial",
     "overhead_vs_nodes_table",
     "run_city_workload",
     "run_discovery_workload",

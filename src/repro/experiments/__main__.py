@@ -24,6 +24,7 @@ from repro.experiments import (
     convergence_table,
     footprint_table,
     gateway_table,
+    handover_table,
     interop_table,
     media_quality_table,
     module_inventory_table,
@@ -82,6 +83,12 @@ ARTIFACTS = {
             ge_points=((2.0, 0.04), (1.2, 0.05)),
         ),
         media_quality_table,
+    ),
+    "H1": (
+        "mid-call coverage loss, baseline vs multihomed handover (section 5k)",
+        dict(seeds=(1,), conditions=(("clean", None, None, False),)),
+        dict(seeds=(1, 2, 3)),
+        handover_table,
     ),
     "A1": (
         "discovery scheme ablation",

@@ -21,6 +21,8 @@ from repro.faults.plan import (
     FaultPlan,
     GatewayDown,
     GatewayUp,
+    InterfaceDown,
+    InterfaceUp,
     LinkHeal,
     LinkPartition,
     NodeCrash,
@@ -61,6 +63,14 @@ class FaultInjector:
                         f"fault event {event.kind} targets node {event.node}, "
                         "which has no Internet attachment"
                     )
+            if isinstance(event, (InterfaceDown, InterfaceUp)):
+                node = self.scenario.nodes[event.node]
+                present = node.ip if event.iface == "wireless" else node.wired_ip
+                if not present:
+                    raise ConfigError(
+                        f"fault event {event.kind} targets the {event.iface} "
+                        f"interface of node {event.node}, which has none"
+                    )
             self.sim.schedule_at(event.at, self._fire, event)
         return self
 
@@ -96,6 +106,11 @@ class FaultInjector:
             gateway = scenario.stacks[event.node].gateway
             if gateway is not None and not gateway.running:
                 gateway.start()
+        elif isinstance(event, (InterfaceDown, InterfaceUp)):
+            self._emit(event, scenario.nodes[event.node].ip)
+            scenario.nodes[event.node].set_interface_up(
+                event.iface, isinstance(event, InterfaceUp)
+            )
         self.applied.append((self.sim.now, describe_event(event)))
 
     def _emit(self, event: FaultEvent, node_ip: str) -> None:

@@ -17,6 +17,9 @@ Event kinds mirror the ``fault.*`` trace taxonomy:
   Gateway Provider (``graceful=False`` models a crash: the SLP advert is
   *not* withdrawn, so remote caches hold a stale gateway entry — the
   failover drill the Connection Provider's cooldown logic exists for).
+* :class:`InterfaceDown` / :class:`InterfaceUp` — flip one interface's
+  administrative state while the host keeps running (radio horizon,
+  uplink loss): the coverage-loss drill the §5k handover policy answers.
 """
 
 from __future__ import annotations
@@ -73,7 +76,35 @@ class GatewayUp:
     kind: ClassVar[str] = "gateway_up"
 
 
-FaultEvent = Union[NodeCrash, NodeRestart, LinkPartition, LinkHeal, GatewayDown, GatewayUp]
+@dataclass(frozen=True)
+class InterfaceDown:
+    at: float
+    node: int
+    iface: str = "wireless"
+    kind: ClassVar[str] = "interface_down"
+
+
+@dataclass(frozen=True)
+class InterfaceUp:
+    at: float
+    node: int
+    iface: str = "wireless"
+    kind: ClassVar[str] = "interface_up"
+
+
+#: Interface names the netsim knows how to flap.
+KNOWN_INTERFACES = ("wireless", "wired")
+
+FaultEvent = Union[
+    NodeCrash,
+    NodeRestart,
+    LinkPartition,
+    LinkHeal,
+    GatewayDown,
+    GatewayUp,
+    InterfaceDown,
+    InterfaceUp,
+]
 
 
 def describe_event(event: FaultEvent) -> dict[str, object]:
@@ -144,6 +175,14 @@ class FaultPlan:
         self._events.append(GatewayUp(at=at, node=node))
         return self
 
+    def interface_down(self, at: float, node: int, iface: str = "wireless") -> "FaultPlan":
+        self._events.append(InterfaceDown(at=at, node=node, iface=iface))
+        return self
+
+    def interface_up(self, at: float, node: int, iface: str = "wireless") -> "FaultPlan":
+        self._events.append(InterfaceUp(at=at, node=node, iface=iface))
+        return self
+
     def with_channel(self, channel) -> "FaultPlan":
         self.channel = channel
         return self
@@ -178,6 +217,12 @@ class FaultPlan:
                             f"fault event references node {index}, but the "
                             f"scenario has nodes 0..{n_nodes - 1}"
                         )
+            if isinstance(event, (InterfaceDown, InterfaceUp)):
+                if event.iface not in KNOWN_INTERFACES:
+                    raise ConfigError(
+                        f"unknown interface {event.iface!r} "
+                        f"(want one of {KNOWN_INTERFACES})"
+                    )
             if isinstance(event, LinkPartition):
                 if set(event.group_a) & set(event.group_b):
                     raise ConfigError(

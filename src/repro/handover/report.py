@@ -1,0 +1,106 @@
+"""Trace-derived handover accounting.
+
+Consumes ``handover.*`` trace events (from a live collector or a JSONL
+export) and reduces them to the numbers the §5k acceptance criteria are
+stated in: attempts/successes/abandons, handover-latency percentiles and
+inbound-media-gap percentiles. Pure functions over event lists — no
+simulator access — so the same report can be built from an archived
+trace file long after the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.trace.events import TraceEvent
+
+
+def percentile(values: Sequence[float], q: float) -> float | None:
+    """Nearest-rank percentile (q in [0, 100]); None on empty input."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = max(1, int(round(q / 100.0 * len(ordered))))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+@dataclass
+class HandoverReport:
+    """Counts + distributions reduced from ``handover.*`` trace events."""
+
+    triggers: int = 0
+    attempts: int = 0
+    completed: int = 0
+    abandoned: int = 0
+    media_restored: int = 0
+    causes: dict[str, int] = field(default_factory=dict)
+    latencies_ms: list[float] = field(default_factory=list)
+    gaps_ms: list[float] = field(default_factory=list)
+    packets_lost: list[int] = field(default_factory=list)
+
+    @property
+    def survival_rate(self) -> float | None:
+        """Fraction of triggered handovers that re-anchored the session."""
+        if self.triggers == 0:
+            return None
+        return self.completed / self.triggers
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "triggers": self.triggers,
+            "attempts": self.attempts,
+            "completed": self.completed,
+            "abandoned": self.abandoned,
+            "media_restored": self.media_restored,
+            "causes": dict(sorted(self.causes.items())),
+            "latency_ms_p50": percentile(self.latencies_ms, 50),
+            "latency_ms_p95": percentile(self.latencies_ms, 95),
+            "gap_ms_p50": percentile(self.gaps_ms, 50),
+            "gap_ms_p95": percentile(self.gaps_ms, 95),
+        }
+
+    def render(self) -> str:
+        s = self.summary()
+        causes = ",".join(f"{k}:{v}" for k, v in s["causes"].items()) or "-"
+
+        def num(key: str) -> str:
+            value = s[key]
+            return "-" if value is None else f"{value:.3f}"
+
+        return (
+            f"triggers={s['triggers']} attempts={s['attempts']} "
+            f"completed={s['completed']} abandoned={s['abandoned']} "
+            f"media_restored={s['media_restored']} causes={causes}\n"
+            f"latency_ms p50={num('latency_ms_p50')} p95={num('latency_ms_p95')} "
+            f"gap_ms p50={num('gap_ms_p50')} p95={num('gap_ms_p95')}\n"
+        )
+
+
+def build_report(events: Iterable[TraceEvent]) -> HandoverReport:
+    report = HandoverReport()
+    for event in events:
+        kind = event.kind
+        detail = event.detail or {}
+        if kind == "handover.trigger":
+            report.triggers += 1
+            cause = str(detail.get("cause", "?"))
+            report.causes[cause] = report.causes.get(cause, 0) + 1
+        elif kind == "handover.attempt":
+            report.attempts += 1
+        elif kind == "handover.complete":
+            report.completed += 1
+            latency = detail.get("latency_ms")
+            if isinstance(latency, (int, float)):
+                report.latencies_ms.append(float(latency))
+        elif kind == "handover.abandoned":
+            report.abandoned += 1
+        elif kind == "handover.media_restored":
+            report.media_restored += 1
+            gap = detail.get("gap_ms")
+            if isinstance(gap, (int, float)):
+                report.gaps_ms.append(float(gap))
+            lost = detail.get("packets_lost")
+            if isinstance(lost, int):
+                report.packets_lost.append(lost)
+    return report

@@ -543,40 +543,45 @@ class _MetricsPurityVisitor(RuleVisitor):
         if name in _WALL_CLOCK_CALLS:
             self.report(
                 node,
-                f"wall-clock call {name}() in metrics code: scrape timing "
-                "must derive from sim time only, or the observer changes "
-                "what it observes; wall-time belongs in metrics/profiler.py",
+                f"wall-clock call {name}() in observability code: scrape and "
+                "drill timing must derive from sim time only, or the observer "
+                "changes what it observes; wall-time belongs in "
+                "metrics/profiler.py",
             )
         elif name is not None and name.startswith("random."):
             # Stricter than DET002: even a *seeded* random.Random is banned.
-            # Metrics code drawing randomness (sampling, jitter) would fork
-            # the random stream, so enabling metrics would change the run it
+            # Observability code drawing randomness (sampling, jitter) would
+            # fork the random stream, so enabling it would change the run it
             # is supposed to passively observe.
             self.report(
                 node,
-                f"{name}() in metrics code: instruments and scrapers must be "
-                "pure readers — no sampling jitter, no private RNG — so "
-                "enabling metrics cannot perturb the observed run",
+                f"{name}() in observability code: instruments, scrapers and "
+                "handover drills must be pure readers — no sampling jitter, "
+                "no private RNG — so observing cannot perturb the run",
             )
         self.generic_visit(node)
 
 
 class MetricsPurityRule(Rule):
     id = "OBS001"
-    title = "no wall-clock or random.* calls under metrics/ (profiler exempt)"
+    title = "no wall-clock or random.* calls under metrics/ or handover/ (profiler exempt)"
     rationale = (
-        "The metrics subsystem's contract is zero observer effect: same-seed "
-        "runs are byte-identical with scraping on or off. That only holds if "
-        "metrics code is a pure function of registry state and Simulator.now "
-        "— any wall-clock read or RNG (seeded or not) couples snapshots to "
-        "the host. The one sanctioned exception is metrics/profiler.py, "
-        "whose entire purpose is wall-time measurement."
+        "The observability layers' contract is zero observer effect: "
+        "same-seed runs are byte-identical with scraping on or off, and the "
+        "§5k handover drills must fingerprint identically across fresh "
+        "interpreters. That only holds if metrics and handover-harness code "
+        "is a pure function of registry/trace state and Simulator.now — any "
+        "wall-clock read or RNG (seeded or not) couples output to the host. "
+        "(The policy's own retry jitter draws a *private* integer-seeded "
+        "RNG in repro.core.connection, outside this scope by design.) The "
+        "one sanctioned exception is metrics/profiler.py, whose entire "
+        "purpose is wall-time measurement."
     )
     visitor_class = _MetricsPurityVisitor
 
     def applies_to(self, path: Path) -> bool:
         parts = path.parts
-        if "metrics" not in parts:
+        if "metrics" not in parts and "handover" not in parts:
             return False
         return not (len(parts) >= 2 and parts[-2:] == ("metrics", "profiler.py"))
 
@@ -729,8 +734,9 @@ class HeapqUseRule(Rule):
 # ---------------------------------------------------------------------------
 
 #: Modules the SHARD family certifies. Everything the sharded kernel will
-#: fork into worker processes lives here; lint/, trace/, experiments/,
-#: faults/, overload/ and the harnesses stay host-side.
+#: fork into worker processes lives here — including repro.handover, whose
+#: drills replay inside workers; lint/, trace/, experiments/, faults/,
+#: overload/ and the other harnesses stay host-side.
 _SHARD_SCOPE_PREFIXES = (
     "repro.netsim.",
     "repro.core.",
@@ -738,6 +744,7 @@ _SHARD_SCOPE_PREFIXES = (
     "repro.routing.",
     "repro.slp.",
     "repro.rtp.",
+    "repro.handover.",
 )
 _SHARD_SCOPE_MODULES = frozenset(
     {
@@ -748,6 +755,7 @@ _SHARD_SCOPE_MODULES = frozenset(
         "repro.routing",
         "repro.slp",
         "repro.rtp",
+        "repro.handover",
     }
 )
 

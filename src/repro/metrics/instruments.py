@@ -158,6 +158,24 @@ def _rtp_playout_delay_max(scenario: "ManetScenario") -> float:
     return worst
 
 
+def _handover_active(scenario: "ManetScenario") -> int:
+    total = 0
+    for stack in scenario.stacks:
+        if stack.handover is not None:
+            total += stack.handover.active_attempts
+    return total
+
+
+def _handover_media_gap_max(scenario: "ManetScenario") -> float:
+    worst = 0.0
+    for stack in scenario.stacks:
+        if stack.handover is not None:
+            for gap in stack.handover.media_gaps:
+                if gap > worst:
+                    worst = gap
+    return worst
+
+
 def _sim_pending(scenario: "ManetScenario") -> int:
     return scenario.sim.pending_events
 
@@ -236,6 +254,16 @@ def install_scenario_instruments(
           help="Largest playout delay any live jitter buffer targets (s)")
     gauge("rtp.recovered", fn=partial(_stats_counter, scenario, "rtp.recovered"),
           help="Frames rebuilt from RFC 2198 redundancy (Stats mirror)")
+    gauge("handover.active", fn=partial(_handover_active, scenario),
+          help="Mid-call migrations currently in progress")
+    gauge("handover.media_gap.max", fn=partial(_handover_media_gap_max, scenario),
+          help="Longest measured media gap across completed handovers (s)")
+    gauge("handover.attempted", fn=partial(_stats_counter, scenario, "handover.attempted"),
+          help="Handover attempts started (Stats mirror)")
+    gauge("handover.succeeded", fn=partial(_stats_counter, scenario, "handover.succeeded"),
+          help="Handovers that re-anchored the session (Stats mirror)")
+    gauge("handover.abandoned", fn=partial(_stats_counter, scenario, "handover.abandoned"),
+          help="Handovers abandoned at the give-up deadline (Stats mirror)")
     gauge("sim.pending_events", fn=partial(_sim_pending, scenario),
           help="Live scheduled events in the kernel")
     gauge("sim.events_processed", fn=partial(_sim_processed, scenario),

@@ -72,6 +72,7 @@ class InternetCloud:
         if wired_ip in self._endpoints:
             raise NetworkError(f"internet address {wired_ip} already attached")
         node.wired_ip = wired_ip
+        node.add_interface("wired")
         self._endpoints[wired_ip] = node.receive_wired
         node.set_default_route("wired", self.send, priority=0)
         return wired_ip
@@ -81,6 +82,7 @@ class InternetCloud:
             del self._endpoints[node.wired_ip]
         node.clear_default_route("wired")
         node.wired_ip = None
+        node.interfaces.pop("wired", None)
 
     def attach_endpoint(self, ip: str, deliver: DeliverFn) -> None:
         """Attach a virtual endpoint (e.g. a tunnel-client address at a gateway)."""

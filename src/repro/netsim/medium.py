@@ -402,11 +402,13 @@ class WirelessMedium:
             )
         receiver = self._by_ip.get(next_hop_ip)
         blocked = self._partitions and self.link_blocked(sender.ip, next_hop_ip)
-        # A crashed node has no radio: it sends no MAC ACK, so the sender's
-        # retries exhaust exactly as for an out-of-range neighbor.
+        # A crashed node (or one with its radio administratively down) has
+        # no radio: it sends no MAC ACK, so the sender's retries exhaust
+        # exactly as for an out-of-range neighbor.
         reachable = (
             receiver is not None
             and receiver.up
+            and receiver.interface_up("wireless")
             and not blocked
             and self.in_range(sender, receiver)
         )

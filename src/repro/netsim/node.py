@@ -76,6 +76,24 @@ class _DefaultRoute:
         self.send = send
 
 
+class Interface:
+    """Administrative state of one attachment point (§5k).
+
+    Every node with a MANET address gets a ``"wireless"`` interface at
+    construction; ``InternetCloud.attach`` adds a ``"wired"`` one. ``up``
+    is *administrative* state, independent of ``Node.up`` (host power): a
+    node can be running with its radio off. The optional bounded TX queue
+    (§5f) hangs off the interface whose airtime it serializes.
+    """
+
+    __slots__ = ("name", "up", "tx_queue")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.up = True
+        self.tx_queue: "InterfaceTxQueue | None" = None
+
+
 class InterfaceTxQueue:
     """Bounded per-node wireless TX queue with pluggable drop policies (§5f).
 
@@ -152,6 +170,11 @@ class InterfaceTxQueue:
         self._busy = False
         self._above_watermark = False
 
+    def kick(self) -> None:
+        """Resume draining after an interface comes back up."""
+        if not self._busy and self._frames and self.node.up and self.node.medium is not None:
+            self._start_transmission(*self._frames.popleft())
+
     # -- internals ----------------------------------------------------------
     def _enqueue(self, next_hop_ip: str | None, packet: Packet, on_link_failure) -> None:
         self._frames.append((next_hop_ip, packet, on_link_failure))
@@ -198,7 +221,12 @@ class InterfaceTxQueue:
         self._busy = False
         if len(self._frames) < self.high_watermark:
             self._above_watermark = False
-        if self._frames and self.node.up and self.node.medium is not None:
+        if (
+            self._frames
+            and self.node.up
+            and self.node.medium is not None
+            and self.node.interface_up("wireless")
+        ):
             self._start_transmission(*self._frames.popleft())
 
 
@@ -226,9 +254,11 @@ class Node:
         self.stats = stats or Stats()
         self.hostname = hostname or (f"node-{node_id}")
         self.medium: "WirelessMedium | None" = None
-        # Optional bounded TX queue (§5f). None = unbounded legacy behavior:
-        # frames go straight to the medium with no serialization queueing.
-        self.tx_queue: InterfaceTxQueue | None = None
+        self.interfaces: dict[str, Interface] = {}
+        if self.ip:
+            self.add_interface("wireless")
+        # Observers of administrative interface flaps: ``fn(name, up)``.
+        self.on_interface_change: list[Callable[[str, bool], None]] = []
         self.router: Router | None = None
         self.hooks = NetfilterHooks()
         self.wired_ip: str | None = None
@@ -258,6 +288,57 @@ class Node:
 
     def set_router(self, router: Router) -> None:
         self.router = router
+
+    # -- interfaces ----------------------------------------------------------
+    def add_interface(self, name: str) -> Interface:
+        """Create (or return) the named interface; new interfaces start up."""
+        interface = self.interfaces.get(name)
+        if interface is None:
+            interface = Interface(name)
+            self.interfaces[name] = interface
+        return interface
+
+    def interface_up(self, name: str) -> bool:
+        """Administrative state of an interface (unknown names count as up).
+
+        Permissive on purpose: hosts predating the multihoming work (tests,
+        wired-only helpers) have no interface objects and must behave as
+        they always did.
+        """
+        interface = self.interfaces.get(name)
+        return interface is None or interface.up
+
+    def set_interface_up(self, name: str, up: bool) -> None:
+        """Flip an interface's administrative state, notifying observers."""
+        interface = self.add_interface(name)
+        if interface.up == up:
+            return
+        interface.up = up
+        self.stats.increment(f"iface.{'up' if up else 'down'}")
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit(
+                "iface.up" if up else "iface.down",
+                self.ip or self.wired_ip or "",
+                iface=name,
+            )
+        if not up and interface.tx_queue is not None:
+            # Radio off sheds anything still waiting for airtime.
+            interface.tx_queue.clear()
+        if up and interface.tx_queue is not None:
+            interface.tx_queue.kick()
+        for observer in list(self.on_interface_change):
+            observer(name, up)
+
+    @property
+    def tx_queue(self) -> InterfaceTxQueue | None:
+        """The wireless interface's bounded TX queue (§5f), if configured."""
+        interface = self.interfaces.get("wireless")
+        return interface.tx_queue if interface is not None else None
+
+    @tx_queue.setter
+    def tx_queue(self, queue: InterfaceTxQueue | None) -> None:
+        self.add_interface("wireless").tx_queue = queue
 
     def configure_tx_queue(
         self,
@@ -289,8 +370,11 @@ class Node:
         self._next_ephemeral = EPHEMERAL_PORT_BASE
         self.router = None
         self.hooks = NetfilterHooks()
-        if self.tx_queue is not None:
-            self.tx_queue.clear()
+        self.on_interface_change.clear()
+        for interface in self.interfaces.values():
+            interface.up = True  # a power cycle resets administrative state
+            if interface.tx_queue is not None:
+                interface.tx_queue.clear()
 
     def restart(self) -> None:
         """Power the node back on (empty-state boot; see :meth:`crash`)."""
@@ -362,12 +446,25 @@ class Node:
         """Originate a UDP datagram from this node."""
         if not self.up:
             return
-        src = self.ip or self.wired_ip or "0.0.0.0"
+        src = self._source_address()
         packet = Packet(src=src, dst=dst_ip, payload=Datagram(sport, dport, data), ttl=ttl)
         mangled = self.hooks.run(Chain.OUTPUT, packet)
         if mangled is None:
             return
         self.route_packet(mangled)
+
+    def _source_address(self) -> str:
+        """Preferred source address given current interface state.
+
+        Matches the legacy ``ip or wired_ip`` order while every interface
+        is up; a multihomed node with its radio down sources from the
+        wired address so replies come back over the surviving uplink.
+        """
+        if self.ip and self.interface_up("wireless"):
+            return self.ip
+        if self.wired_ip and self.interface_up("wired"):
+            return self.wired_ip
+        return self.ip or self.wired_ip or "0.0.0.0"
 
     # -- IP layer ----------------------------------------------------------------
     def route_packet(self, packet: Packet) -> None:
@@ -401,13 +498,17 @@ class Node:
                         dst=packet.dst,
                     )
             return
-        if self._default_routes:
-            self._default_routes[0].send(packet)
-            return
+        for route in self._default_routes:
+            # A default route is only usable while its interface is up;
+            # routes with no matching interface object ("tunnel") always are.
+            if self.interface_up(route.name):
+                route.send(packet)
+                return
+        cause = "iface_down" if self._default_routes else "no_route"
         self.stats.increment("ip.no_route")
         if tracer is not None:
             tracer.emit(
-                "packet.drop", self.ip, uid=packet.uid, cause="no_route",
+                "packet.drop", self.ip, uid=packet.uid, cause=cause,
                 dst=packet.dst,
             )
 
@@ -424,6 +525,9 @@ class Node:
         """Every wireless send funnels through here (``None`` = broadcast)."""
         if self.medium is None:
             return
+        if not self.interface_up("wireless"):
+            self.stats.increment("iface.tx_down")
+            return
         queue = self.tx_queue
         if queue is None:
             if next_hop_ip is None:
@@ -436,7 +540,7 @@ class Node:
     # -- receive paths -------------------------------------------------------------
     def receive_wireless(self, packet: Packet, from_ip: str) -> None:
         """Entry point for frames delivered by the wireless medium."""
-        if not self.up:
+        if not self.up or not self.interface_up("wireless"):
             return
         if packet.dst == BROADCAST or self.is_local_address(packet.dst):
             mangled = self.hooks.run(Chain.INPUT, packet)
@@ -460,7 +564,7 @@ class Node:
 
     def receive_wired(self, packet: Packet) -> None:
         """Entry point for packets delivered by the Internet cloud."""
-        if not self.up:
+        if not self.up or not self.interface_up("wired"):
             return
         if self.is_local_address(packet.dst):
             mangled = self.hooks.run(Chain.INPUT, packet)

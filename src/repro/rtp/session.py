@@ -126,6 +126,10 @@ class RtpSession:
         self._last_transit: float | None = None
         self._first_ext: int | None = None
         self._ext_high: int | None = None
+        # Inbound-silence bookkeeping for the §5k handover trigger: when the
+        # last datagram arrived, and the widest inter-arrival gap seen.
+        self.last_rx_at: float | None = None
+        self.max_rx_gap = 0.0
         self.closed = False
         tracer = self.sim.tracer
         if tracer is not None:
@@ -274,6 +278,11 @@ class RtpSession:
             self.node.stats.increment("rtp.bad_packets")
             return
         now = self.sim.now
+        if self.last_rx_at is not None:
+            gap = now - self.last_rx_at
+            if gap > self.max_rx_gap:
+                self.max_rx_gap = gap
+        self.last_rx_at = now
         if packet.payload_type == RED_PAYLOAD_TYPE:
             self._receive_red(packet, now)
         elif packet.payload_type == COMFORT_NOISE_PAYLOAD_TYPE:

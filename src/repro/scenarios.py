@@ -69,6 +69,10 @@ class ManetConfig:
     mobility_speed: tuple[float, float] = (0.5, 2.0)
     mobility_pause: float = 5.0
     internet_gateways: int = 0  # how many nodes get wired attachments
+    # Node indexes given a wired uplink WITHOUT the gateway role (§5k
+    # multihomed phones): they never advertise gateway.siphoc, the uplink
+    # exists purely as the handover target for mid-call migration.
+    multihomed: tuple[int, ...] = ()
     # Run the per-node Connection Provider (gateway discovery). Without any
     # Internet attachment its periodic SLP lookups can never succeed, yet each
     # one floods the whole MANET — O(N^2) receptions per poll round. Large
@@ -131,7 +135,12 @@ class ManetScenario:
                 bind(self.sim)
         self.cloud: InternetCloud | None = None
         self.providers: dict[str, SipProvider] = {}
-        needs_cloud = base.internet_gateways > 0 or base.providers or base.strict_providers
+        needs_cloud = (
+            base.internet_gateways > 0
+            or bool(base.multihomed)
+            or base.providers
+            or base.strict_providers
+        )
         if needs_cloud:
             self.cloud = InternetCloud(self.sim, stats=self.stats)
             for domain in base.providers:
@@ -152,6 +161,10 @@ class ManetScenario:
             # Gateways are the last nodes (edge of a chain, corner of a grid).
             for node in self.nodes[-base.internet_gateways :] if base.internet_gateways else []:
                 self.cloud.attach(node)
+            # Multihomed phone nodes get an uplink too, but no gateway role.
+            for index in base.multihomed:
+                if self.nodes[index].wired_ip is None:
+                    self.cloud.attach(self.nodes[index])
         self.stacks: list[SiphocStack] = [
             SiphocStack(
                 node,
@@ -159,6 +172,7 @@ class ManetScenario:
                 cloud=self.cloud,
                 config=base.siphoc,
                 run_connection_provider=base.connection_provider,
+                gateway_role=self._gateway_role(node),
             )
             for node in self.nodes
         ]
@@ -192,6 +206,24 @@ class ManetScenario:
         if base.faults is not None:
             self.faults = FaultInjector(self, base.faults)
         self._started = False
+
+    def _gateway_role(self, node: Node) -> bool | None:
+        """Gateway-role argument for one stack.
+
+        ``None`` preserves the legacy inference (wired attachment ⇒
+        gateway) for every pre-existing scenario; multihomed phone nodes
+        get an explicit ``False`` so their §5k uplink doesn't also turn
+        them into advertised gateways.
+        """
+        if node.node_id in self.config.multihomed and not self._is_gateway_index(
+            node.node_id
+        ):
+            return False
+        return None
+
+    def _is_gateway_index(self, index: int) -> bool:
+        gateways = self.config.internet_gateways
+        return gateways > 0 and index >= self.config.n_nodes - gateways
 
     def _make_routing(self, node: Node) -> str | Aodv:
         """Routing argument for one stack: the config string, or a tuned
@@ -270,6 +302,7 @@ class ManetScenario:
             routing=self._make_routing(node),
             cloud=self.cloud,
             config=self.config.siphoc,
+            gateway_role=self._gateway_role(node),
         )
         self.stacks[index] = stack
         if self._started:

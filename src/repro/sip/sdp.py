@@ -230,6 +230,33 @@ class SessionDescription:
             media=media,
         )
 
+    def with_address(self, address: str) -> "SessionDescription":
+        """A copy re-anchored to a new local address (§5k handover).
+
+        Rewrites the origin and connection lines and bumps the version, as
+        a re-INVITE offer from a host that moved interfaces must. Media
+        ports are unchanged: the RTP session keeps its socket, SSRC and
+        sequence space across the move.
+        """
+        media = [
+            MediaDescription(
+                media=description.media,
+                port=description.port,
+                protocol=description.protocol,
+                payload_types=list(description.payload_types),
+                attributes=list(description.attributes),
+            )
+            for description in self.media
+        ]
+        return SessionDescription(
+            origin_address=address,
+            connection_address=address,
+            session_name=self.session_name,
+            session_id=self.session_id,
+            session_version=self.session_version + 1,
+            media=media,
+        )
+
     @property
     def rtp_endpoint(self) -> tuple[str, int] | None:
         """The (address, port) the peer wants RTP sent to."""

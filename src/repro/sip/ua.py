@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import enum
 import itertools
+import random
 from typing import Callable
 
 from repro.errors import SipDialogError
@@ -35,6 +36,17 @@ _rtp_ports = registry.counter("sip.ua.rtp_port", start=0)
 
 def _allocate_rtp_port() -> int:
     return 16384 + (_rtp_ports.next() % 8192) * 2
+
+
+#: Alternate (multihomed) contact advertised alongside the dialog contact,
+#: so the peer knows where to reach us if the primary path dies (§5k).
+ALT_CONTACT_HEADER = "P-Alt-Contact"
+#: Marks a re-INVITE as a handover migration: the UAS refreshes the dialog
+#: target from it and answers with its own alternate address.
+HANDOVER_HEADER = "P-Handover"
+
+#: Re-INVITE glare (RFC 3261 section 14.1) retry attempts before giving up.
+MAX_GLARE_RETRIES = 6
 
 
 class CallState(enum.Enum):
@@ -65,6 +77,14 @@ class Call:
         self.terminated_at: float | None = None
         self.on_state: Callable[["Call"], None] | None = None
         self.on_media: Callable[["Call"], None] | None = None
+        #: Peer's multihomed fallback contact (from P-Alt-Contact), if any.
+        self.remote_alt_contact: SipUri | None = None
+        #: True while our own re-INVITE awaits a final response; an incoming
+        #: re-INVITE in that window is glare and gets 491 (RFC 3261 §14.2).
+        self._pending_reinvite = False
+        #: Whether this side generated the dialog's Call-ID (RFC 3261 §14.1
+        #: glare retry classes: owner 2.1-4.0 s, non-owner 0-2.0 s).
+        self.is_call_id_owner = False
 
     @property
     def is_active(self) -> bool:
@@ -111,13 +131,54 @@ class Call:
         on_result: Callable[[bool], None] | None = None,
     ) -> None:
         """Send a re-INVITE with a new session description (hold/resume)."""
+        self._send_reinvite(sdp, on_result=on_result)
+
+    def migrate(
+        self,
+        sdp: SessionDescription,
+        on_result: Callable[[bool], None] | None = None,
+    ) -> None:
+        """Re-anchor an established call onto a new local address (§5k).
+
+        Sends a handover re-INVITE straight to the peer's alternate
+        contact: the recorded route set and old remote target live on the
+        radio path being abandoned, so both are refreshed up front. The
+        RTP session itself is untouched — SSRC, sequence space and the
+        receiver's jitter buffer survive the move.
+        """
+        if self.state is not CallState.ESTABLISHED or self.dialog is None:
+            if on_result is not None:
+                on_result(False)
+            return
+        target = self.remote_alt_contact
+        if target is None:
+            if on_result is not None:
+                on_result(False)
+            return
+        self.dialog.remote_target = target
+        self.dialog.route_set = []
+        self._send_reinvite(sdp, on_result=on_result, handover=True)
+
+    def _send_reinvite(
+        self,
+        sdp: SessionDescription,
+        on_result: Callable[[bool], None] | None = None,
+        handover: bool = False,
+        _attempt: int = 0,
+    ) -> None:
+        """The shared UAC re-INVITE engine (hold/resume and handover)."""
         if self.state is not CallState.ESTABLISHED or self.dialog is None:
             if on_result is not None:
                 on_result(False)
             return
         self.local_sdp = sdp
+        self._pending_reinvite = True
         reinvite = self.dialog.create_request("INVITE")
         reinvite.headers.add("Contact", f"<{self.ua.contact_uri}>")
+        if self.ua.alt_contact_uri is not None:
+            reinvite.headers.add(ALT_CONTACT_HEADER, f"<{self.ua.alt_contact_uri}>")
+        if handover:
+            reinvite.headers.add(HANDOVER_HEADER, "1")
         reinvite.headers.add("Content-Type", "application/sdp")
         reinvite.body = sdp.serialize()
         cseq = reinvite.cseq
@@ -125,6 +186,7 @@ class Call:
         def on_response(response: SipResponse) -> None:
             if response.is_provisional:
                 return
+            self._pending_reinvite = False
             if response.is_success:
                 if response.body:
                     try:
@@ -132,6 +194,12 @@ class Call:
                     except Exception:
                         pass
                 assert self.dialog is not None
+                contact = response.contact
+                if handover and contact is not None:
+                    # Target refresh confirmed: subsequent in-dialog
+                    # requests go direct to the peer's new contact.
+                    self.dialog.remote_target = contact.uri
+                self._adopt_alt_contact(response.headers.get(ALT_CONTACT_HEADER))
                 ack = self.dialog.create_request(
                     "ACK", cseq_number=cseq.number if cseq else 1
                 )
@@ -140,15 +208,43 @@ class Call:
                     self.on_media(self)
                 if on_result is not None:
                     on_result(True)
-            elif on_result is not None:
+                return
+            if response.status == 491 and self.is_active:
+                # Glare: the peer has its own re-INVITE in flight. Back off
+                # per RFC 3261 §14.1 and re-send with a fresh CSeq.
+                self.ua.node.stats.increment("sip.reinvite_glare_retry")
+                if _attempt < MAX_GLARE_RETRIES:
+                    self.ua.sim.schedule(
+                        self.ua._glare_delay(self.is_call_id_owner),
+                        self._send_reinvite,
+                        self.local_sdp,
+                        on_result,
+                        handover,
+                        _attempt + 1,
+                    )
+                    return
+            if on_result is not None:
+                on_result(False)
+
+        def on_timeout() -> None:
+            self._pending_reinvite = False
+            if on_result is not None:
                 on_result(False)
 
         self.ua.transactions.send_request(
             reinvite,
             self.dialog.next_hop(),
             on_response,
-            on_timeout=lambda: on_result(False) if on_result else None,
+            on_timeout=on_timeout,
         )
+
+    def _adopt_alt_contact(self, raw: str | None) -> None:
+        if not raw:
+            return
+        try:
+            self.remote_alt_contact = NameAddr.parse(raw).uri
+        except Exception:
+            pass
 
     def hold(self, on_result: Callable[[bool], None] | None = None) -> None:
         """Put the call on hold (media direction -> inactive)."""
@@ -168,13 +264,37 @@ class Call:
 
     def _handle_reinvite(self, request: SipRequest, txn: ServerTransaction | None) -> None:
         """UAS side of a mid-dialog INVITE: accept the new offer."""
+        if self._pending_reinvite:
+            # Glare (RFC 3261 §14.2): our own re-INVITE is still in flight.
+            self.ua.node.stats.increment("sip.reinvite_glare_491")
+            if txn is not None:
+                txn.send_response(
+                    request.create_response(
+                        491, to_tag=self.dialog.local_tag if self.dialog else None
+                    )
+                )
+            return
+        handover = request.headers.get(HANDOVER_HEADER) is not None
+        self._adopt_alt_contact(request.headers.get(ALT_CONTACT_HEADER))
         if request.body:
             try:
                 self.remote_sdp = parse_sdp(request.body)
             except Exception:
                 pass
+        if handover and self.dialog is not None:
+            # The peer moved interfaces: refresh the dialog target from its
+            # new Contact and drop the recorded route set — the proxy chain
+            # it names sits on the dead path.
+            contact = request.contact
+            if contact is not None:
+                self.dialog.remote_target = contact.uri
+            self.dialog.route_set = []
         # Mirror the offered direction in our answer (RFC 3264 hold rules).
         answer = self.local_sdp
+        if answer is not None and handover and self.ua.alt_contact_uri is not None:
+            # Answer from our own alternate address: the peer can no longer
+            # reach the MANET address our original answer advertised.
+            answer = answer.with_address(self.ua.alt_contact_uri.host)
         if answer is not None and self.remote_sdp is not None:
             offered = self.remote_sdp.direction
             if offered == "inactive":
@@ -185,12 +305,20 @@ class Call:
                 answer = answer.with_direction("sendonly")
             else:
                 answer = answer.with_direction("sendrecv")
+        if answer is not None:
             self.local_sdp = answer
         if txn is not None:
             response = request.create_response(
                 200, to_tag=self.dialog.local_tag if self.dialog else None
             )
-            response.headers.add("Contact", f"<{self.ua.contact_uri}>")
+            contact_uri = self.ua.contact_uri
+            if handover and self.ua.alt_contact_uri is not None:
+                contact_uri = self.ua.alt_contact_uri
+            response.headers.add("Contact", f"<{contact_uri}>")
+            if self.ua.alt_contact_uri is not None:
+                response.headers.add(
+                    ALT_CONTACT_HEADER, f"<{self.ua.alt_contact_uri}>"
+                )
             if answer is not None:
                 response.headers.add("Content-Type", "application/sdp")
                 response.body = answer.serialize()
@@ -223,6 +351,7 @@ class OutgoingCall(Call):
     def __init__(self, ua: "UserAgent", call_id: str, target: SipUri) -> None:
         super().__init__(ua, call_id)
         self.target = target
+        self.is_call_id_owner = True
         self._invite: SipRequest | None = None
         self._txn = None
 
@@ -260,6 +389,7 @@ class OutgoingCall(Call):
                 self._set_state(CallState.FAILED)
                 return
             self.ua._register_dialog(self.dialog, self)
+            self._adopt_alt_contact(response.headers.get(ALT_CONTACT_HEADER))
             if response.body:
                 try:
                     self.remote_sdp = parse_sdp(response.body)
@@ -296,6 +426,7 @@ class IncomingCall(Call):
         self.local_tag = new_tag()
         from_ = request.from_
         self.caller = from_.uri if from_ is not None else None
+        self._adopt_alt_contact(request.headers.get(ALT_CONTACT_HEADER))
         if request.body:
             try:
                 self.remote_sdp = parse_sdp(request.body)
@@ -323,6 +454,8 @@ class IncomingCall(Call):
         self.ua._register_dialog(self.dialog, self)
         response = self.request.create_response(200, to_tag=self.local_tag)
         response.headers.add("Contact", f"<{self.ua.contact_uri}>")
+        if self.ua.alt_contact_uri is not None:
+            response.headers.add(ALT_CONTACT_HEADER, f"<{self.ua.alt_contact_uri}>")
         response.headers.add("Content-Type", "application/sdp")
         response.body = sdp.serialize()
         self._txn.send_response(response)
@@ -444,12 +577,27 @@ class UserAgent:
         self.registered = False
         self.registration_expires: float | None = None
         self._register_cseq = itertools.count(1)
+        #: Alternate contact advertised via P-Alt-Contact (§5k handover);
+        #: set by the handover policy on multihomed nodes, None otherwise.
+        self.alt_contact_uri: SipUri | None = None
+        # Private integer-seeded RNG for RFC 3261 §14.1 glare timers: never
+        # touches the shared simulator stream, so enabling handover leaves
+        # every other draw sequence untouched.
+        self._glare_rng = random.Random(
+            ((node.sim.seed * 1_000_003 + node.node_id) * 131_071 + port) * 8_191 + 17
+        )
 
     @property
     def contact_uri(self) -> SipUri:
         return SipUri(
             user=self.aor.user, host=self.transport.address, port=self.transport.port
         )
+
+    def _glare_delay(self, owner: bool) -> float:
+        """RFC 3261 §14.1 retry delay in 10 ms multiples from the private RNG."""
+        lo, hi = (2.1, 4.0) if owner else (0.0, 2.0)
+        steps = int(round((hi - lo) / 0.010))
+        return lo + self._glare_rng.randrange(steps + 1) * 0.010
 
     def close(self) -> None:
         for subscription in list(self._subscriptions.values()):
@@ -550,6 +698,8 @@ class UserAgent:
         headers.add("CSeq", "1 INVITE")
         headers.add("Max-Forwards", "70")
         headers.add("Contact", f"<{self.contact_uri}>")
+        if self.alt_contact_uri is not None:
+            headers.add(ALT_CONTACT_HEADER, f"<{self.alt_contact_uri}>")
         headers.add("Content-Type", "application/sdp")
         invite = SipRequest("INVITE", target_uri.without_params(), headers=headers)
         invite.body = sdp.serialize()

@@ -94,6 +94,17 @@ EVENT_KINDS: dict[str, str] = {
     "fault.heal": "injected partition healed",
     "fault.gateway_down": "injected gateway failure (detail.graceful says how)",
     "fault.gateway_up": "injected gateway recovery (provider restarted)",
+    "fault.interface_down": "injected interface failure (detail.iface says which)",
+    "fault.interface_up": "injected interface recovery",
+    # iface — per-interface administrative state (§5k)
+    "iface.up": "interface administratively enabled (detail.iface)",
+    "iface.down": "interface administratively disabled (detail.iface)",
+    # handover — mid-call multihomed handover (§5k)
+    "handover.trigger": "handover decided for a call (detail.cause, detail.mode)",
+    "handover.attempt": "migration re-INVITE launched (detail.attempt)",
+    "handover.complete": "call re-anchored on the new interface (latency_ms)",
+    "handover.media_restored": "inbound media resumed (gap_ms, packets_lost)",
+    "handover.abandoned": "give-up deadline or dead peer; call torn down",
     # mobility — movement epochs
     "mobility.waypoint": "node picked a new waypoint (speed, target)",
 }

@@ -1,0 +1,80 @@
+"""Interface fault events: plan builders, validation and injection (§5k)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import FaultInjector, FaultPlan
+from repro.faults.plan import InterfaceDown, InterfaceUp, describe_event
+from repro.scenarios import ManetConfig, ManetScenario
+
+
+def build(n_nodes=3, plan=None, multihomed=(), tracing=False):
+    return ManetScenario(
+        ManetConfig(
+            n_nodes=n_nodes,
+            topology="chain",
+            routing="aodv",
+            seed=5,
+            multihomed=multihomed,
+            tracing=tracing,
+            faults=plan,
+        )
+    )
+
+
+class TestPlanBuilders:
+    def test_builders_append_events(self):
+        plan = FaultPlan().interface_down(4.0, 1).interface_up(8.0, 1)
+        assert plan.events == (
+            InterfaceDown(at=4.0, node=1, iface="wireless"),
+            InterfaceUp(at=8.0, node=1, iface="wireless"),
+        )
+
+    def test_describe_round_trips(self):
+        event = InterfaceDown(at=4.0, node=1, iface="wired")
+        described = describe_event(event)
+        assert described["kind"] == "interface_down"
+        assert described["iface"] == "wired"
+
+    def test_validate_rejects_unknown_interface(self):
+        plan = FaultPlan().interface_down(4.0, 1, iface="bluetooth")
+        with pytest.raises(ConfigError, match="unknown interface"):
+            plan.validate(n_nodes=3)
+
+    def test_describe_text_is_stable(self):
+        plan = FaultPlan().interface_down(4.0, 0).interface_up(9.0, 0)
+        assert plan.describe() == FaultPlan(plan.events).describe()
+
+
+class TestInjection:
+    def test_interface_down_flips_admin_state(self):
+        scenario = build(plan=FaultPlan().interface_down(5.0, 1).interface_up(9.0, 1))
+        scenario.start()
+        scenario.sim.run(6.0)
+        assert not scenario.nodes[1].interface_up("wireless")
+        scenario.sim.run(10.0)
+        assert scenario.nodes[1].interface_up("wireless")
+
+    def test_wired_fault_requires_wired_interface(self):
+        scenario = build()
+        injector = FaultInjector(
+            scenario, FaultPlan().interface_down(5.0, 0, iface="wired")
+        )
+        with pytest.raises(ConfigError):
+            injector.arm()
+
+    def test_wired_fault_on_multihomed_node_allowed(self):
+        scenario = build(
+            multihomed=(0,), plan=FaultPlan().interface_down(5.0, 0, iface="wired")
+        )
+        scenario.start()
+        scenario.sim.run(6.0)
+        assert not scenario.nodes[0].interface_up("wired")
+
+    def test_trace_emits_fault_and_iface_events(self):
+        scenario = build(plan=FaultPlan().interface_down(5.0, 1), tracing=True)
+        scenario.start()
+        scenario.sim.run(6.0)
+        kinds = [event.kind for event in scenario.trace.events]
+        assert "fault.interface_down" in kinds
+        assert "iface.down" in kinds

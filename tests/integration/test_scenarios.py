@@ -77,3 +77,40 @@ class TestHelpers:
         record = scenario.call_and_wait("alice", "sip:ghost@voicehoc.ch", duration=1.0)
         assert record.final_state == "failed"
         scenario.stop()
+
+
+class TestMultihomed:
+    def test_multihomed_nodes_get_uplink_without_gateway_role(self):
+        from repro.scenarios import ManetConfig, ManetScenario
+
+        scenario = ManetScenario(
+            ManetConfig(
+                n_nodes=4,
+                topology="chain",
+                seed=9,
+                multihomed=(0, 3),
+                internet_gateways=1,
+            )
+        )
+        # Wired attachment everywhere it was asked for...
+        assert scenario.nodes[0].wired_ip is not None
+        assert scenario.nodes[3].wired_ip is not None
+        assert scenario.nodes[1].wired_ip is None
+        # ...but only the declared gateway runs a GatewayProvider: the
+        # multihomed phone node must not advertise gateway.siphoc.
+        assert scenario.stacks[0].gateway is None
+        assert scenario.stacks[3].gateway is not None
+
+    def test_restarted_multihomed_node_keeps_phone_role(self):
+        from repro.scenarios import ManetConfig, ManetScenario
+
+        scenario = ManetScenario(
+            ManetConfig(n_nodes=3, topology="chain", seed=9, multihomed=(0,))
+        )
+        scenario.start()
+        scenario.sim.run(2.0)
+        scenario.crash_node(0)
+        stack = scenario.restart_node(0)
+        assert stack.gateway is None
+        assert scenario.nodes[0].wired_ip is not None
+        scenario.stop()

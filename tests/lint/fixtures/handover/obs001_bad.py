@@ -1,0 +1,23 @@
+"""OBS001 positive fixture: handover-harness code owning a clock or RNG.
+
+Mirrors metrics/obs001_bad.py for the §5k scope extension: the wall-clock
+read also trips DET001, the global-RNG draw also trips DET002, and the
+*seeded* Random — which DET002 allows, and which the policy itself uses
+for retry jitter over in repro.core.connection — is still banned inside
+the handover drill/report harness.
+"""
+
+import random
+import time
+
+
+def sample_drills(drills, rate):
+    return [drill for drill in drills if random.random() < rate]
+
+
+def make_retry_rng(seed):
+    return random.Random(seed)
+
+
+def drill_stamp():
+    return time.time()

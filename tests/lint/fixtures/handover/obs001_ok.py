@@ -1,0 +1,14 @@
+"""OBS001 negative fixture: pure handover-harness code.
+
+Reductions over trace events and sim-time readings only — nothing host-
+coupled, so drill reports fingerprint identically across interpreters.
+"""
+
+
+def media_gap(events):
+    gaps = [event["gap_ms"] for event in events if "gap_ms" in event]
+    return max(gaps) if gaps else None
+
+
+def survival_rate(completed, triggers):
+    return completed / triggers if triggers else None

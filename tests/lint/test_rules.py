@@ -40,6 +40,8 @@ EXPECTED = {
     "metrics/obs001_bad.py": ["DET001", "DET002", "OBS001", "OBS001", "OBS001"],
     "metrics/obs001_ok.py": [],
     "metrics/profiler.py": [],
+    "handover/obs001_bad.py": ["DET001", "DET002", "OBS001", "OBS001", "OBS001"],
+    "handover/obs001_ok.py": [],
     "obs001_unscoped.py": [],
     "netsim/ovr001_bad.py": ["OVR001"] * 5,
     "netsim/ovr001_ok.py": [],

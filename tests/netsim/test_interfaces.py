@@ -1,0 +1,179 @@
+"""Unit tests for per-interface administrative state (§5k multihoming)."""
+
+from repro.netsim import (
+    InternetCloud,
+    Node,
+    Simulator,
+    Stats,
+    WirelessMedium,
+    manet_ip,
+    place_chain,
+)
+from tests.conftest import make_chain
+
+
+def build_pair(sim, medium):
+    return make_chain(sim, medium, 2, static_routes=True)
+
+
+class TestInterfaceObjects:
+    def test_wireless_interface_exists_and_starts_up(self, sim, medium):
+        (a,) = make_chain(sim, medium, 1)
+        assert "wireless" in a.interfaces
+        assert a.interface_up("wireless")
+
+    def test_unknown_interface_counts_up(self, sim, medium):
+        # Permissive by design: legacy hosts without interface objects
+        # must behave exactly as before the multihoming work.
+        (a,) = make_chain(sim, medium, 1)
+        assert a.interface_up("wired")
+        assert a.interface_up("no-such-thing")
+
+    def test_cloud_attach_creates_wired_interface(self, sim):
+        stats = Stats()
+        cloud = InternetCloud(sim, stats=stats)
+        node = Node(sim, 0, manet_ip(0), stats=stats)
+        cloud.attach(node)
+        assert "wired" in node.interfaces
+        assert node.interface_up("wired")
+
+    def test_add_interface_is_idempotent(self, sim, medium):
+        (a,) = make_chain(sim, medium, 1)
+        first = a.add_interface("wired")
+        first.up = False
+        assert a.add_interface("wired") is first
+        assert not a.interface_up("wired")
+
+    def test_set_interface_up_counts_and_notifies(self, sim, medium):
+        (a,) = make_chain(sim, medium, 1)
+        seen = []
+        a.on_interface_change.append(lambda name, up: seen.append((name, up)))
+        a.set_interface_up("wireless", False)
+        a.set_interface_up("wireless", False)  # no-op: unchanged
+        a.set_interface_up("wireless", True)
+        assert seen == [("wireless", False), ("wireless", True)]
+        assert a.stats.count("iface.down") == 1
+        assert a.stats.count("iface.up") == 1
+
+
+class TestInterfaceGating:
+    def test_down_wireless_blocks_tx(self, sim, medium):
+        a, b = build_pair(sim, medium)
+        got = []
+        b.bind(5000, lambda data, src, sport: got.append(data))
+        a.set_interface_up("wireless", False)
+        a.send_udp(b.ip, 4000, 5000, b"hi")
+        sim.run(1.0)
+        assert got == []
+
+    def test_down_wireless_blocks_rx(self, sim, medium):
+        a, b = build_pair(sim, medium)
+        got = []
+        b.bind(5000, lambda data, src, sport: got.append(data))
+        b.set_interface_up("wireless", False)
+        a.send_udp(b.ip, 4000, 5000, b"hi")
+        sim.run(1.0)
+        assert got == []
+
+    def test_interface_restored_traffic_flows(self, sim, medium):
+        a, b = build_pair(sim, medium)
+        got = []
+        b.bind(5000, lambda data, src, sport: got.append(data))
+        a.set_interface_up("wireless", False)
+        a.set_interface_up("wireless", True)
+        a.send_udp(b.ip, 4000, 5000, b"hi")
+        sim.run(1.0)
+        assert got == [b"hi"]
+
+    def test_down_iface_drop_cause(self, sim, medium):
+        a, b = build_pair(sim, medium)
+        a.set_interface_up("wireless", False)
+        a.send_udp(b.ip, 4000, 5000, b"x")
+        sim.run(1.0)
+        assert a.stats.count("ip.iface_down") + a.stats.count("iface.tx_down") >= 1
+
+    def test_node_down_still_independent_of_admin_state(self, sim, medium):
+        a, b = build_pair(sim, medium)
+        a.set_interface_up("wireless", False)
+        assert a.up  # the host keeps running; only the radio is off
+
+    def test_source_address_prefers_live_interface(self, sim):
+        stats = Stats()
+        cloud = InternetCloud(sim, stats=stats)
+        medium = WirelessMedium(sim, stats=stats, tx_range=150.0)
+        node = Node(sim, 0, manet_ip(0), stats=stats)
+        node.join_medium(medium)
+        cloud.attach(node)
+        assert node._source_address() == node.ip
+        node.set_interface_up("wireless", False)
+        assert node._source_address() == node.wired_ip
+        node.set_interface_up("wireless", True)
+        assert node._source_address() == node.ip
+
+    def test_wired_route_skipped_while_wired_down(self, sim):
+        stats = Stats()
+        cloud = InternetCloud(sim, stats=stats)
+        a = Node(sim, 0, "", stats=stats)
+        b = Node(sim, 1, "", stats=stats)
+        cloud.attach(a)
+        cloud.attach(b)
+        got = []
+        b.bind(5000, lambda data, src, sport: got.append(data))
+        a.set_interface_up("wired", False)
+        a.send_udp(b.wired_ip, 4000, 5000, b"x")
+        sim.run(1.0)
+        assert got == []
+        a.set_interface_up("wired", True)
+        a.send_udp(b.wired_ip, 4000, 5000, b"y")
+        sim.run(2.0)
+        assert got == [b"y"]
+
+
+class TestTxQueueInteraction:
+    def test_radio_off_clears_queue(self, sim, medium):
+        a, b = build_pair(sim, medium)
+        a.configure_tx_queue(8)
+        for _ in range(4):
+            a.send_udp(b.ip, 4000, 5000, b"x")
+        a.set_interface_up("wireless", False)
+        assert a.tx_queue.depth == 0
+
+    def test_kick_resumes_drain_after_radio_returns(self, sim, medium):
+        a, b = build_pair(sim, medium)
+        got = []
+        b.bind(5000, lambda data, src, sport: got.append(data))
+        a.configure_tx_queue(8)
+        a.set_interface_up("wireless", False)
+        a.set_interface_up("wireless", True)
+        a.send_udp(b.ip, 4000, 5000, b"back")
+        sim.run(1.0)
+        assert got == [b"back"]
+
+
+class TestCrashResetsInterfaces:
+    def test_crash_power_cycles_administrative_state(self, sim, medium):
+        a, b = build_pair(sim, medium)
+        a.set_interface_up("wireless", False)
+        a.crash()
+        assert a.interface_up("wireless")
+        a.restart()
+        assert a.interface_up("wireless")
+
+    def test_crash_clears_observers(self, sim, medium):
+        (a,) = make_chain(sim, medium, 1)
+        a.on_interface_change.append(lambda name, up: None)
+        a.crash()
+        assert a.on_interface_change == []
+
+
+class TestMediumHonoursReceiverRadio:
+    def test_unicast_to_radio_off_receiver_fails_like_out_of_range(self, sim, medium):
+        a, b = build_pair(sim, medium)
+        b.set_interface_up("wireless", False)
+        got = []
+        b.bind(5000, lambda data, src, sport: got.append(data))
+        a.send_udp(b.ip, 4000, 5000, b"x")
+        sim.run(2.0)
+        assert got == []
+        # MAC retries exhausted against a dead receiver, like a crash.
+        assert a.stats.count("medium.unicast_failures") > 0

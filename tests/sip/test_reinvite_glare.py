@@ -1,0 +1,80 @@
+"""Re-INVITE glare handling (RFC 3261 §14): 491 + role-based retry timers.
+
+Before the fix, a UAS that had its own re-INVITE in flight would happily
+process the peer's crossing re-INVITE — both sides would apply each
+other's offers as if they were answers, desynchronizing the dialogs.
+Now the crossing request gets 491 Request Pending and the loser retries
+after the §14.1 timer for its role (Call-ID owner 2.1–4.0 s, non-owner
+0–2.0 s), so both updates eventually land.
+"""
+
+import pytest
+
+from repro.sip import CallState, UserAgent
+from repro.sip.sdp import SessionDescription
+from tests.conftest import make_chain
+
+
+@pytest.fixture
+def established_pair(sim, medium):
+    a, b = make_chain(sim, medium, 2, static_routes=True)
+    alice = UserAgent(a, "sip:alice@voicehoc.ch", port=5070)
+    bob = UserAgent(b, "sip:bob@voicehoc.ch", port=5070)
+
+    def auto_answer(call):
+        call.ring()
+        sim.schedule(0.2, call.answer)
+
+    bob.on_invite = auto_answer
+    offer = SessionDescription.offer(a.ip, 16384)
+    out_call = alice.call(f"sip:bob@{b.ip}:5070", sdp=offer)
+    sim.run(3.0)
+    assert out_call.state is CallState.ESTABLISHED
+    in_call = bob.active_calls[0]
+    return a, b, alice, bob, out_call, in_call
+
+
+class TestReinviteGlare:
+    def test_crossing_reinvites_both_eventually_succeed(self, sim, established_pair):
+        a, b, alice, bob, out_call, in_call = established_pair
+        results_a, results_b = [], []
+        # Both ends fire a re-INVITE at the same sim instant: glare.
+        sdp_a = SessionDescription.offer(a.ip, 16390)
+        sdp_b = SessionDescription.offer(b.ip, 16392)
+        sim.schedule(1.0, out_call.update_media, sdp_a, results_a.append)
+        sim.schedule(1.0, in_call.update_media, sdp_b, results_b.append)
+        sim.run(20.0)
+        assert results_a == [True]
+        assert results_b == [True]
+        # At least one side answered 491 and the loser retried.
+        stats = a.stats
+        assert stats.count("sip.reinvite_glare_491") >= 1
+        assert stats.count("sip.reinvite_glare_retry") >= 1
+        # Both dialogs converged on the peer's refreshed media address.
+        assert out_call.remote_sdp is not None
+        assert in_call.remote_sdp is not None
+
+    def test_owner_retry_waits_longer_than_non_owner(self, sim, established_pair):
+        a, b, alice, bob, out_call, in_call = established_pair
+        # RFC 3261 §14.1: the Call-ID owner backs off 2.1-4.0 s, the
+        # non-owner 0-2.0 s — both in 10 ms multiples from the UA's
+        # private glare RNG (never the shared scenario stream).
+        assert out_call.is_call_id_owner
+        assert not in_call.is_call_id_owner
+        for _ in range(50):
+            owner_delay = alice._glare_delay(True)
+            other_delay = alice._glare_delay(False)
+            assert 2.1 <= owner_delay <= 4.0
+            assert 0.0 <= other_delay <= 2.0
+            assert round(owner_delay * 100) == pytest.approx(owner_delay * 100)
+
+    def test_pending_reinvite_gets_491(self, sim, established_pair):
+        a, b, alice, bob, out_call, in_call = established_pair
+        # Stall bob's answer path by firing both updates concurrently and
+        # sampling the 491 counter before any retry can complete.
+        sdp_a = SessionDescription.offer(a.ip, 16390)
+        sdp_b = SessionDescription.offer(b.ip, 16392)
+        sim.schedule(1.0, out_call.update_media, sdp_a)
+        sim.schedule(1.0, in_call.update_media, sdp_b)
+        sim.run(sim.now + 1.05)
+        assert a.stats.count("sip.reinvite_glare_491") >= 1

@@ -25,6 +25,8 @@ class TestTaxonomy:
             "gateway",
             "mobility",
             "fault",
+            "iface",
+            "handover",
         } == set(CATEGORIES)
 
 

@@ -36,6 +36,9 @@ python -m repro.metrics smoke
 echo "== repro.rtp smoke (MOS recovery contrast + inert media defaults) =="
 python -m repro.rtp smoke
 
+echo "== repro.handover smoke (mid-call survival + byte-identical reruns) =="
+python -m repro.handover smoke
+
 echo "== kernel parity smoke (calendar vs heap, byte-identical traces) =="
 parity_dir=$(mktemp -d)
 trap 'rm -rf "$parity_dir"' EXIT
